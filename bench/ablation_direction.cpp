@@ -1,0 +1,66 @@
+// Ablation bench: the direction-optimizing extension engine vs the
+// paper's Algorithm 2/3 across workload families.
+//
+// The hybrid engine's win is algorithmic, not architectural — it
+// *examines fewer edges* on low-diameter graphs — so unlike the
+// thread-scaling figures it reproduces faithfully even on one CPU.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Ablation: direction-optimizing BFS vs the paper's engines",
+           "extension (Beamer et al. SC'12 heuristics)");
+
+    const std::uint64_t n = scaled(1 << 16);
+
+    struct Workload {
+        const char* label;
+        CsrGraph graph;
+    };
+    Workload workloads[] = {
+        {"uniform arity 8", uniform_graph(n, 8 * n)},
+        {"uniform arity 32", uniform_graph(n, 32 * n)},
+        {"rmat arity 16", rmat_graph(n, 16 * n)},
+    };
+
+    Table table({"workload", "bitmap rate", "hybrid rate", "speedup",
+                 "edges examined (bitmap)", "edges examined (hybrid)"});
+    for (Workload& w : workloads) {
+        BfsOptions bitmap;
+        bitmap.engine = BfsEngine::kBitmap;
+        bitmap.threads = 4;
+        bitmap.topology = Topology::emulate(1, 4, 1);
+        bitmap.collect_stats = true;
+
+        BfsOptions hybrid = bitmap;
+        hybrid.engine = BfsEngine::kHybrid;
+
+        const double bitmap_rate = bfs_rate(w.graph, bitmap);
+        const double hybrid_rate = bfs_rate(w.graph, hybrid);
+
+        const auto scanned = [&](const BfsOptions& o) {
+            const BfsResult r = bfs(w.graph, 0, o);
+            std::uint64_t total = 0;
+            for (const auto& s : r.level_stats) total += s.edges_scanned;
+            return total;
+        };
+
+        table.add_row({w.label, fmt("%.1f ME/s", bitmap_rate / 1e6),
+                       fmt("%.1f ME/s", hybrid_rate / 1e6),
+                       fmt("%.2fx", hybrid_rate / bitmap_rate),
+                       fmt_u64(scanned(bitmap)), fmt_u64(scanned(hybrid))});
+    }
+    table.print();
+
+    std::printf(
+        "\nexpected shape: on dense low-diameter graphs the hybrid engine "
+        "examines a\nfraction of the edges and its rate (computed on the "
+        "comparable sum-of-degrees\nconvention) rises accordingly; "
+        "high-diameter or sparse graphs show parity.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation bench: how the vertex *partition* feeds Algorithm 3. The
+// paper assigns contiguous id blocks to sockets (Algorithm 3 line 2);
+// on label-shuffled graphs that cuts almost every edge, and every cut
+// edge becomes a channel tuple. BFS region growing + relabelling
+// reduces the cut, trading preprocessing for channel traffic — and on
+// real NUMA hardware, for coherence traffic.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/grid.hpp"
+#include "gen/permute.hpp"
+#include "graph/gpartition.hpp"
+#include "graph/reorder.hpp"
+
+namespace {
+
+using namespace sge;
+using namespace sge::bench;
+
+std::uint64_t channel_tuples(const CsrGraph& g, int sockets) {
+    BfsOptions opts;
+    opts.engine = BfsEngine::kMultiSocket;
+    opts.threads = sockets;
+    opts.topology = Topology::emulate(sockets, 1, 1);
+    opts.collect_stats = true;
+    const BfsResult r = bfs(g, 0, opts);
+    std::uint64_t tuples = 0;
+    for (const auto& s : r.level_stats) tuples += s.remote_tuples;
+    return tuples;
+}
+
+void run_workload(const char* label, const CsrGraph& g, int sockets) {
+    const PartitionAssignment blocks = block_partition(g.num_vertices(), sockets);
+    const PartitionAssignment grown = bfs_grow_partition(g, sockets, 7);
+    const PartitionQuality q_blocks =
+        evaluate_partition(g, blocks.part, sockets);
+    const PartitionQuality q_grown = evaluate_partition(g, grown.part, sockets);
+
+    const CsrGraph relabeled =
+        apply_vertex_permutation(g, partition_order(grown));
+
+    BfsOptions opts;
+    opts.engine = BfsEngine::kMultiSocket;
+    opts.threads = sockets;
+    opts.topology = Topology::emulate(sockets, 1, 1);
+
+    Table table({"partition", "cut arcs", "imbalance", "BFS channel tuples",
+                 "BFS rate"});
+    table.add_row({"blocks (paper)", fmt_u64(q_blocks.cut_arcs),
+                   fmt("%.3f", q_blocks.imbalance),
+                   fmt_u64(channel_tuples(g, sockets)),
+                   fmt("%.1f ME/s", bfs_rate(g, opts) / 1e6)});
+    table.add_row({"bfs-grown + relabel", fmt_u64(q_grown.cut_arcs),
+                   fmt("%.3f", q_grown.imbalance),
+                   fmt_u64(channel_tuples(relabeled, sockets)),
+                   fmt("%.1f ME/s", bfs_rate(relabeled, opts) / 1e6)});
+    std::printf("%s, %d sockets:\n", label, sockets);
+    table.print();
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    banner("Ablation: block vs BFS-grown partition for Algorithm 3",
+           "Algorithm 3 line 2 (vertex-to-socket assignment)");
+
+    const std::uint64_t n = scaled(1 << 14);
+
+    {
+        // Geometry-rich workload where region growing shines.
+        GridParams params;
+        params.width = static_cast<std::uint32_t>(1) << 7;
+        params.height = static_cast<std::uint32_t>(n >> 7);
+        EdgeList edges = generate_grid(params);
+        permute_vertices(edges, 13);  // destroy the id-space geometry
+        run_workload("shuffled grid", csr_from_edges(edges), 4);
+    }
+    {
+        // The paper's R-MAT workload: weaker geometry, smaller win.
+        run_workload("R-MAT arity 16", rmat_graph(n, 16 * n, 5), 4);
+    }
+
+    std::printf(
+        "expected shape: on geometric graphs the grown partition cuts a "
+        "small fraction\nof what blocks cut and ships correspondingly fewer "
+        "tuples; on scale-free\ngraphs hubs touch every region and the gap "
+        "narrows — why the paper's simple\nblock rule is defensible for "
+        "R-MAT workloads.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+// Throughput bench for the BFS-derived analytics layer: the
+// applications the paper's introduction motivates, all running on the
+// multicore BFS substrates. Complements the figure benches (which
+// measure the traversal kernel itself) with end-to-end application
+// numbers.
+
+#include <cstdio>
+#include <vector>
+
+#include "analytics/betweenness.hpp"
+#include "analytics/closeness.hpp"
+#include "analytics/connected_components.hpp"
+#include "analytics/diameter.hpp"
+#include "analytics/kcore.hpp"
+#include "analytics/parallel_sssp.hpp"
+#include "analytics/sssp.hpp"
+#include "analytics/st_connectivity.hpp"
+#include "analytics/triangles.hpp"
+#include "bench_util.hpp"
+#include "graph/weighted.hpp"
+#include "runtime/timer.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Analytics layer: the intro's BFS applications, end to end",
+           "Section I motivation");
+
+    const std::uint64_t n = scaled(1 << 15);
+    const CsrGraph g = rmat_graph(n, 16 * n, 4);
+    std::printf("workload: R-MAT, %llu vertices, %llu arcs\n\n",
+                static_cast<unsigned long long>(g.num_vertices()),
+                static_cast<unsigned long long>(g.num_edges()));
+
+    Table table({"analysis", "time", "result"});
+    WallTimer timer;
+
+    {
+        timer.reset();
+        const ComponentsResult cc = connected_components(g);
+        table.add_row({"connected components", fmt("%.1f ms", timer.seconds() * 1e3),
+                       fmt_u64(cc.num_components()) + " components, giant = " +
+                           fmt_u64(cc.largest_size())});
+    }
+    {
+        BfsOptions opts;
+        opts.engine = BfsEngine::kHybrid;
+        opts.threads = 4;
+        opts.topology = Topology::emulate(1, 4, 1);
+        timer.reset();
+        const DiameterEstimate d = estimate_diameter(g, 0, opts);
+        table.add_row({"diameter (double sweep)",
+                       fmt("%.1f ms", timer.seconds() * 1e3),
+                       "in [" + fmt_u64(d.lower_bound) + ", " +
+                           fmt_u64(d.upper_bound) + "], " + fmt_u64(d.sweeps) +
+                           " sweeps"});
+    }
+    {
+        timer.reset();
+        const StResult st = st_connectivity(g, 0, static_cast<vertex_t>(n - 1));
+        table.add_row(
+            {"st-connectivity (bidirectional)",
+             fmt("%.1f ms", timer.seconds() * 1e3),
+             st.connected ? "distance " + fmt_u64(st.distance) + ", expanded " +
+                                fmt_u64(st.vertices_expanded)
+                          : "not connected"});
+    }
+    {
+        std::vector<vertex_t> sources;
+        for (vertex_t s = 0; s < 64; ++s)
+            sources.push_back(static_cast<vertex_t>((s * 1315423911ULL) % n));
+        std::sort(sources.begin(), sources.end());
+        sources.erase(std::unique(sources.begin(), sources.end()),
+                      sources.end());
+        ClosenessOptions opts;
+        opts.threads = 4;
+        opts.topology = Topology::emulate(1, 4, 1);
+        timer.reset();
+        const auto scores = closeness_centrality(g, sources, opts);
+        table.add_row({"closeness (" + fmt_u64(sources.size()) +
+                           " sources, MS-BFS)",
+                       fmt("%.1f ms", timer.seconds() * 1e3),
+                       "one shared 64-lane traversal"});
+    }
+    {
+        BetweennessOptions opts;
+        opts.sample_sources = 32;
+        opts.threads = 4;
+        opts.topology = Topology::emulate(1, 4, 1);
+        timer.reset();
+        const auto bc = betweenness_centrality(g, opts);
+        vertex_t top = 0;
+        for (vertex_t v = 1; v < g.num_vertices(); ++v)
+            if (bc[v] > bc[top]) top = v;
+        table.add_row({"betweenness (32-source sample)",
+                       fmt("%.1f ms", timer.seconds() * 1e3),
+                       "top vertex " + fmt_u64(top)});
+    }
+    {
+        timer.reset();
+        const KcoreResult kc = kcore_decomposition(g);
+        table.add_row({"k-core decomposition",
+                       fmt("%.1f ms", timer.seconds() * 1e3),
+                       "degeneracy " + fmt_u64(kc.degeneracy)});
+    }
+    {
+        TriangleOptions opts;
+        opts.threads = 4;
+        opts.topology = Topology::emulate(1, 4, 1);
+        timer.reset();
+        const TriangleCounts tc = count_triangles(g, opts);
+        table.add_row({"triangle census", fmt("%.1f ms", timer.seconds() * 1e3),
+                       fmt_u64(tc.total) + " triangles, clustering " +
+                           fmt("%.4f", tc.global_clustering(g))});
+    }
+    {
+        const WeightedCsrGraph wg = with_random_weights(
+            rmat_graph(n, 16 * n, 4), 1, 100, 9);
+        timer.reset();
+        const SsspResult exact = dijkstra(wg, 0);
+        const double dijkstra_ms = timer.seconds() * 1e3;
+        timer.reset();
+        const SsspResult buckets = delta_stepping(wg, 0);
+        const double delta_ms = timer.seconds() * 1e3;
+        table.add_row({"sssp: dijkstra", fmt("%.1f ms", dijkstra_ms),
+                       fmt_u64(exact.edges_relaxed) + " relaxations"});
+        table.add_row({"sssp: delta-stepping", fmt("%.1f ms", delta_ms),
+                       fmt_u64(buckets.edges_relaxed) + " relaxations"});
+        ParallelSsspOptions popts;
+        popts.threads = 4;
+        popts.topology = Topology::emulate(1, 4, 1);
+        timer.reset();
+        const SsspResult par = parallel_delta_stepping(wg, 0, popts);
+        table.add_row({"sssp: parallel delta-stepping (4t)",
+                       fmt("%.1f ms", timer.seconds() * 1e3),
+                       fmt_u64(par.edges_relaxed) + " relaxations"});
+    }
+
+    table.print();
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3: "Processing rates with Fetch-and-add and a dual socket
+// configuration."
+//
+// Threads hammer atomic fetch-and-adds on random slots of a shared 4 MB
+// buffer, placed socket-major on the paper's dual-socket EP model. The
+// paper's findings to look for:
+//   * atomics do not pipeline like plain reads (compare the two
+//     sections of the table);
+//   * crossing the socket boundary (4 -> 5 threads on the EP) flattens
+//     or degrades scaling — "using 8 cores on two sockets, we achieve
+//     the same processing rate of only 3 cores on a single socket".
+// On this container the socket boundary is emulated, so the coherence
+// cliff is absent; the atomic-vs-read gap still shows.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "memprobe/atomic_probe.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 3: fetch-and-add rates across a dual-socket EP", "Fig. 3");
+
+    const Topology ep = Topology::emulate(2, 4, 1);  // 8 cores, no SMT
+
+    Table table({"threads", "sockets", "fetch-add ops/s", "plain reads/s",
+                 "atomic penalty"});
+    for (int threads = 1; threads <= 8; ++threads) {
+        AtomicProbeParams params;
+        params.buffer_bytes = 4 << 20;  // the paper's fixed 4 MB buffer
+        params.threads = threads;
+        params.ops_per_thread = scaled(1 << 20) / threads;
+        params.topology = ep;
+
+        params.mode = AtomicProbeParams::Mode::kFetchAdd;
+        const ProbeResult atomic = run_atomic_probe(params);
+        params.mode = AtomicProbeParams::Mode::kPlainRead;
+        const ProbeResult reads = run_atomic_probe(params);
+
+        table.add_row({fmt_u64(threads), fmt_u64(ep.sockets_used(threads)),
+                       fmt("%.1f M", atomic.ops_per_second() / 1e6),
+                       fmt("%.1f M", reads.ops_per_second() / 1e6),
+                       fmt("%.2fx", reads.ops_per_second() /
+                                        atomic.ops_per_second())});
+    }
+    table.print();
+
+    std::printf(
+        "\npaper's shape: plain reads scale with threads; fetch-and-add "
+        "stalls, with a\nvisible drop at the 4->5 thread socket crossing on "
+        "real two-socket hardware.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 4: "Number of bitmap accesses and atomic operations in a BFS
+// search, random uniform graph with 16 millions of edges, and average
+// arity 8."
+//
+// Runs Algorithm 2 with per-level instrumentation and prints, per BFS
+// level, the bitmap queries versus the atomic test-and-sets actually
+// issued. The paper's point: the cheap pre-check collapses atomics in
+// the later levels, where nearly every neighbour is already visited.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 4: bitmap accesses vs atomic operations per BFS level",
+           "Fig. 4");
+
+    // Paper: 2M vertices, 16M edges (arity 8). CI default: 1/16 of that.
+    const std::uint64_t n = scaled(1 << 17);
+    const std::uint64_t m = 8 * n;
+    const CsrGraph g = uniform_graph(n, m);
+
+    BfsOptions options;
+    options.engine = BfsEngine::kBitmap;
+    options.threads = 4;
+    options.topology = Topology::emulate(1, 4, 1);
+    options.collect_stats = true;
+    const BfsResult r = bfs(g, 0, options);
+
+    Table table({"level", "frontier", "edges scanned", "bitmap accesses",
+                 "atomic ops", "atomics filtered"});
+    std::uint64_t total_checks = 0;
+    std::uint64_t total_atomics = 0;
+    for (std::size_t d = 0; d < r.level_stats.size(); ++d) {
+        const BfsLevelStats& s = r.level_stats[d];
+        total_checks += s.bitmap_checks;
+        total_atomics += s.atomic_ops;
+        const double filtered =
+            s.bitmap_checks == 0
+                ? 0.0
+                : 100.0 * (1.0 - static_cast<double>(s.atomic_ops) /
+                                     static_cast<double>(s.bitmap_checks));
+        table.add_row({fmt_u64(d), fmt_u64(s.frontier_size),
+                       fmt_u64(s.edges_scanned), fmt_u64(s.bitmap_checks),
+                       fmt_u64(s.atomic_ops), fmt("%.1f%%", filtered)});
+    }
+    table.print();
+
+    std::printf("\ntotals: %llu bitmap accesses, %llu atomic ops (%.1f%% of "
+                "accesses escalated)\n",
+                static_cast<unsigned long long>(total_checks),
+                static_cast<unsigned long long>(total_atomics),
+                100.0 * static_cast<double>(total_atomics) /
+                    static_cast<double>(total_checks));
+    std::printf(
+        "paper's shape: atomics track accesses in the first levels, then "
+        "fall to a tiny\nfraction in the tail levels as the bitmap check "
+        "filters visited vertices.\n");
+    return 0;
+}

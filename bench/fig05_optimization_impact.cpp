@@ -1,0 +1,67 @@
+// Figure 5: "Impact of various optimizations" (Nehalem EP).
+//
+// Four algorithm variants over 1..16 threads on the emulated dual-socket
+// EP, uniformly random graph:
+//   base        — Algorithm 1 (shared queues, unconditional atomics)
+//   +bitmap     — Algorithm 2 without the double-check (every visited
+//                 test is a lock'ed RMW on the bitmap)
+//   +doublecheck— full Algorithm 2
+//   +channels   — Algorithm 3 (per-socket queues + batched channels)
+//
+// On real hardware the gaps widen with thread count and the channel
+// variant is what keeps scaling past the socket boundary; on this
+// 1-CPU container the per-edge instruction savings still separate the
+// variants, while the thread axis shows overhead rather than speedup.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 5: impact of the optimizations (uniform graph, EP model)",
+           "Fig. 5");
+
+    const std::uint64_t n = scaled(1 << 16);
+    const std::uint64_t m = 8 * n;
+    const CsrGraph g = uniform_graph(n, m);
+    std::printf("workload: uniform, %llu vertices, %llu edges (arity 8)\n\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(m));
+
+    struct Variant {
+        const char* label;
+        BfsEngine engine;
+        bool double_check;
+    };
+    const Variant variants[] = {
+        {"base (Alg.1)", BfsEngine::kNaive, true},
+        {"+bitmap", BfsEngine::kBitmap, false},
+        {"+double-check", BfsEngine::kBitmap, true},
+        {"+channels (Alg.3)", BfsEngine::kMultiSocket, true},
+    };
+
+    Table table({"threads", "base (Alg.1)", "+bitmap", "+double-check",
+                 "+channels (Alg.3)"});
+    for (const int threads : {1, 2, 4, 8, 16}) {
+        std::vector<std::string> row{fmt_u64(threads)};
+        for (const Variant& variant : variants) {
+            BfsOptions options;
+            options.engine = variant.engine;
+            options.threads = threads;
+            options.topology = Topology::nehalem_ep();
+            options.bitmap_double_check = variant.double_check;
+            row.push_back(fmt("%.1f ME/s", bfs_rate(g, options) / 1e6));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print();
+
+    std::printf(
+        "\npaper's shape: each optimization adds a constant-factor gain; "
+        "the channel\nvariant changes slope at the socket boundary (4->8 "
+        "threads) instead of flattening.\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 6: uniformly random graphs on the dual-socket Nehalem EP —
+// (a) processing rates, (b) scalability, (c) sensitivity to graph size.
+//
+// Paper scale: 32 M vertices, 256 M - 1 B edges, 1..16 threads, rates
+// of 200-800 ME/s. CI scale: 2^16 vertices at the same arities (8, 16,
+// 32); grow with SGE_SCALE / SGE_FULL.
+
+#include "fig_rate_suite.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 6: uniformly random graphs, Nehalem EP model", "Fig. 6a/b/c");
+
+    RateSuiteConfig cfg;
+    cfg.figure = "Figure 6";
+    cfg.family = "uniform";
+    cfg.topology = Topology::nehalem_ep();
+    cfg.threads = {1, 2, 4, 8, 16};
+    cfg.base_vertices = 1 << 16;
+    cfg.arities = {8, 16, 32};
+    run_rate_suite(cfg);
+
+    std::printf(
+        "\npaper's shape: near-linear scaling to 8 cores, SMT adds a further "
+        "bump to 16\nthreads; higher arity -> higher rate; rate dips mildly "
+        "as vertex count grows\n(larger random-access working set).\n");
+    return 0;
+}

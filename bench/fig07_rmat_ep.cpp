@@ -1,0 +1,30 @@
+// Figure 7: R-MAT graphs on the dual-socket Nehalem EP — (a) rates,
+// (b) scalability, (c) sensitivity to graph size.
+//
+// The paper notes R-MAT rates exceed the uniform ones: the few fat hubs
+// amortise queue and bitmap traffic better than the many low-degree
+// vertices hurt.
+
+#include "fig_rate_suite.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 7: R-MAT graphs, Nehalem EP model", "Fig. 7a/b/c");
+
+    RateSuiteConfig cfg;
+    cfg.figure = "Figure 7";
+    cfg.family = "rmat";
+    cfg.topology = Topology::nehalem_ep();
+    cfg.threads = {1, 2, 4, 8, 16};
+    cfg.base_vertices = 1 << 16;
+    cfg.arities = {8, 16, 32};
+    run_rate_suite(cfg);
+
+    std::printf(
+        "\npaper's shape: same scaling profile as Figure 6 with uniformly "
+        "higher rates;\nslope eases from 4 to 8 threads where the two-phase "
+        "channel algorithm kicks in.\n");
+    return 0;
+}

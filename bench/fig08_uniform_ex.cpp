@@ -1,0 +1,29 @@
+// Figure 8: uniformly random graphs on the 4-socket Nehalem EX —
+// (a) rates, (b) scalability, (c) sensitivity to graph size.
+//
+// Paper scale: up to 64 threads, 0.55-1.3 GE/s, speedups of 14-24x, and
+// — thanks to the 24 MB L3 — rates insensitive to vertex count.
+
+#include "fig_rate_suite.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 8: uniformly random graphs, Nehalem EX model", "Fig. 8a/b/c");
+
+    RateSuiteConfig cfg;
+    cfg.figure = "Figure 8";
+    cfg.family = "uniform";
+    cfg.topology = Topology::nehalem_ex();
+    cfg.threads = {1, 2, 4, 8, 16, 32, 64};
+    cfg.base_vertices = 1 << 16;
+    cfg.arities = {8, 16, 32};
+    run_rate_suite(cfg);
+
+    std::printf(
+        "\npaper's shape: scaling holds across all 4 sockets (speedup 14-24x "
+        "at 64\nthreads), slope easing at the 8->16 thread socket crossing; "
+        "panel (c) is flat\n(the EX's larger cache absorbs the working set).\n");
+    return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 9: R-MAT graphs on the 4-socket Nehalem EX — (a) rates,
+// (b) scalability, (c) sensitivity to graph size.
+
+#include "fig_rate_suite.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Figure 9: R-MAT graphs, Nehalem EX model", "Fig. 9a/b/c");
+
+    RateSuiteConfig cfg;
+    cfg.figure = "Figure 9";
+    cfg.family = "rmat";
+    cfg.topology = Topology::nehalem_ex();
+    cfg.threads = {1, 2, 4, 8, 16, 32, 64};
+    cfg.base_vertices = 1 << 16;
+    cfg.arities = {8, 16, 32};
+    run_rate_suite(cfg);
+
+    std::printf(
+        "\npaper's shape: as Figure 8 with higher absolute rates (hub "
+        "amortisation);\n0.55-1.3 GE/s on the real 4-socket EX at 32 M "
+        "vertices.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+// google-benchmark over the BFS engines themselves: steady-state
+// traversal cost per engine on a fixed R-MAT workload, with
+// items/second = traversed edges/second (the paper's metric, as a
+// google-benchmark counter).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/bfs.hpp"
+
+namespace {
+
+using namespace sge;
+using namespace sge::bench;
+
+const CsrGraph& shared_graph() {
+    static const CsrGraph g = rmat_graph(1 << 15, 16ULL << 15, 1);
+    return g;
+}
+
+void run_engine(benchmark::State& state, BfsEngine engine, int threads) {
+    const CsrGraph& g = shared_graph();
+    BfsOptions options;
+    options.engine = engine;
+    options.threads = threads;
+    options.topology = Topology::emulate(1, std::max(threads, 1), 1);
+    BfsRunner runner(options);
+
+    std::int64_t edges = 0;
+    for (auto _ : state) {
+        const BfsResult r = runner.run(g, 0);
+        edges += static_cast<std::int64_t>(r.edges_traversed);
+        benchmark::DoNotOptimize(r.parent.data());
+    }
+    state.SetItemsProcessed(edges);
+}
+
+void BM_BfsSerial(benchmark::State& state) {
+    run_engine(state, BfsEngine::kSerial, 1);
+}
+BENCHMARK(BM_BfsSerial)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_BfsNaive(benchmark::State& state) {
+    run_engine(state, BfsEngine::kNaive, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BfsNaive)->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_BfsBitmap(benchmark::State& state) {
+    run_engine(state, BfsEngine::kBitmap, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BfsBitmap)->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_BfsMultiSocket(benchmark::State& state) {
+    const int threads = static_cast<int>(state.range(0));
+    const CsrGraph& g = shared_graph();
+    BfsOptions options;
+    options.engine = BfsEngine::kMultiSocket;
+    options.threads = threads;
+    options.topology = Topology::emulate(2, std::max(threads / 2, 1), 1);
+    BfsRunner runner(options);
+    std::int64_t edges = 0;
+    for (auto _ : state) {
+        const BfsResult r = runner.run(g, 0);
+        edges += static_cast<std::int64_t>(r.edges_traversed);
+    }
+    state.SetItemsProcessed(edges);
+}
+BENCHMARK(BM_BfsMultiSocket)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_BfsHybrid(benchmark::State& state) {
+    run_engine(state, BfsEngine::kHybrid, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BfsHybrid)->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

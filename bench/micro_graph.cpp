@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the graph substrate: generator
+// throughput, CSR build cost, and the serial BFS baseline every speedup
+// in the paper is measured against.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace {
+
+void BM_GenerateUniform(benchmark::State& state) {
+    sge::UniformParams params;
+    params.num_vertices = static_cast<sge::vertex_t>(state.range(0));
+    params.degree = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sge::generate_uniform(params));
+        ++params.seed;
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_GenerateUniform)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_GenerateRmat(benchmark::State& state) {
+    sge::RmatParams params;
+    params.scale = static_cast<std::uint32_t>(state.range(0));
+    params.num_edges = 8ULL << params.scale;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sge::generate_rmat(params));
+        ++params.seed;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(params.num_edges));
+}
+BENCHMARK(BM_GenerateRmat)->Arg(14)->Arg(17);
+
+void BM_BuildCsr(benchmark::State& state) {
+    sge::UniformParams params;
+    params.num_vertices = static_cast<sge::vertex_t>(state.range(0));
+    params.degree = 8;
+    const sge::EdgeList edges = sge::generate_uniform(params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sge::csr_from_edges(edges));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(edges.num_edges()));
+}
+BENCHMARK(BM_BuildCsr)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_DegreeStats(benchmark::State& state) {
+    sge::UniformParams params;
+    params.num_vertices = 1 << 17;
+    params.degree = 8;
+    const sge::CsrGraph g = sge::csr_from_edges(sge::generate_uniform(params));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sge::compute_degree_stats(g));
+}
+BENCHMARK(BM_DegreeStats);
+
+void BM_SerialBfs(benchmark::State& state) {
+    sge::UniformParams params;
+    params.num_vertices = static_cast<sge::vertex_t>(state.range(0));
+    params.degree = 8;
+    const sge::CsrGraph g = sge::csr_from_edges(sge::generate_uniform(params));
+    sge::BfsOptions options;
+    options.engine = sge::BfsEngine::kSerial;
+    std::int64_t edges = 0;
+    for (auto _ : state) {
+        const sge::BfsResult r = sge::bfs(g, 0, options);
+        edges += static_cast<std::int64_t>(r.edges_traversed);
+        benchmark::DoNotOptimize(r.parent.data());
+    }
+    state.SetItemsProcessed(edges);
+}
+BENCHMARK(BM_SerialBfs)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HasEdge(benchmark::State& state) {
+    sge::RmatParams params;
+    params.scale = 16;
+    params.num_edges = 1 << 19;
+    const sge::CsrGraph g = sge::csr_from_edges(sge::generate_rmat(params));
+    sge::vertex_t u = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.has_edge(u, u + 1));
+        u = (u + 1) & (g.num_vertices() - 1);
+    }
+}
+BENCHMARK(BM_HasEdge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Tables I & II: system configuration tables.
+//
+// Table I lists the two Nehalem platforms' parameters; Table II the
+// comparison systems. This binary prints the paper's reference values
+// next to what this library detects on the host it runs on, making the
+// gap between the reproduction environment and the original explicit.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "runtime/cache_info.hpp"
+#include "runtime/topology.hpp"
+
+int main() {
+    using namespace sge;
+    using namespace sge::bench;
+
+    banner("Tables I & II: experimental platforms", "Table I / Table II");
+
+    {
+        std::printf("Table I — the paper's Intel platforms:\n");
+        Table table({"parameter", "Nehalem-EP (Xeon X5570)",
+                     "Nehalem-EX (Xeon 7560)"});
+        table.add_row({"sockets", "2", "4"});
+        table.add_row({"cores/socket", "4", "8"});
+        table.add_row({"SMT/core", "2", "2"});
+        table.add_row({"total threads", "16", "64"});
+        table.add_row({"core frequency", "2.93 GHz", "2.26 GHz"});
+        table.add_row({"L1 / L2 / L3", "32 KB / 256 KB / 8 MB",
+                       "32 KB / 256 KB / 24 MB"});
+        table.add_row({"cache line", "64 B", "64 B"});
+        table.add_row({"memory channels", "3 x DDR3-1066 per socket",
+                       "4 x DDR3-1066 per socket"});
+        table.add_row({"system memory", "48 GB", "256 GB"});
+        table.print();
+    }
+
+    {
+        std::printf("\nTable II — comparison systems (published BFS results):\n");
+        Table table({"system", "clock", "processors", "threads", "memory"});
+        table.add_row({"Cray XMT", "500 MHz", "128", "16K", "1 TB"});
+        table.add_row({"Cray MTA-2", "220 MHz", "40", "5120", "160 GB"});
+        table.add_row({"IBM BlueGene/L", "700 MHz", "256 nodes", "512",
+                       "512 MB/node"});
+        table.add_row({"AMD Opteron 2350", "2.0 GHz", "2", "8", "16 GB"});
+        table.add_row({"Intel Xeon X5580", "3.2 GHz", "2", "16", "16 GB"});
+        table.print();
+    }
+
+    {
+        const Topology host = Topology::detect();
+        std::printf("\nThis reproduction host:\n");
+        Table table({"parameter", "value"});
+        table.add_row({"detected topology", host.describe()});
+        table.add_row({"hardware threads", fmt_u64(host.max_threads())});
+        table.add_row({"cache hierarchy", describe_caches(detect_caches(0))});
+        table.add_row({"emulated EP model", Topology::nehalem_ep().describe()});
+        table.add_row({"emulated EX model", Topology::nehalem_ex().describe()});
+        table.print();
+        std::printf(
+            "\nThe benches run the paper's machine *models* (socket-major "
+            "thread grouping,\nper-socket data placement, inter-socket "
+            "channels) on whatever CPUs exist here;\nphysical NUMA latency "
+            "asymmetry is absent. See DESIGN.md, Substitutions.\n");
+    }
+    return 0;
+}

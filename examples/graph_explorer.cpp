@@ -1,0 +1,244 @@
+// graph_explorer — a miniature of the paper's experimental harness as a
+// CLI. Generate (or load) a graph, pick an engine / thread count /
+// topology, run timed BFS traversals from random roots, and report the
+// processing rate in million edges per second — the paper's metric.
+//
+// Usage examples:
+//   graph_explorer --gen rmat --scale 18 --edges 2097152 --threads 16
+//                  --topology ex --engine multisocket --runs 4
+//   graph_explorer --gen uniform --vertices 1000000 --degree 8
+//   graph_explorer --load mygraph.csr --engine bitmap --threads 4
+//   graph_explorer --gen grid --width 1024 --height 1024 --save grid.csr
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/grid.hpp"
+#include "gen/permute.hpp"
+#include "gen/rmat.hpp"
+#include "gen/small_world.hpp"
+#include "gen/ssca2.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/io.hpp"
+#include "graph/reorder.hpp"
+#include "runtime/prng.hpp"
+
+namespace {
+
+struct Cli {
+    std::string gen = "rmat";
+    std::string load;
+    std::string save;
+    std::string engine = "auto";
+    std::string topology = "detect";
+    std::string reorder = "none";
+    std::uint32_t scale = 16;
+    std::uint64_t edges = 0;  // 0: 8x vertices
+    std::uint64_t vertices = 0;
+    std::uint32_t degree = 8;
+    std::uint32_t width = 512;
+    std::uint32_t height = 512;
+    int threads = 0;
+    int runs = 3;
+    std::uint64_t seed = 1;
+    bool validate = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--gen rmat|uniform|grid|ssca2|smallworld] [--load FILE]\n"
+        "          [--save FILE]\n"
+        "          [--engine auto|serial|naive|bitmap|multisocket|hybrid]\n"
+        "          [--topology detect|ep|ex|SxCxT] [--threads N] [--runs N]\n"
+        "          [--reorder none|shuffle|degree|bfs]\n"
+        "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
+        "          [--width N] [--height N] [--seed N] [--validate]\n",
+        argv0);
+    std::exit(2);
+}
+
+Cli parse(int argc, char** argv) {
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--gen") cli.gen = next();
+        else if (arg == "--load") cli.load = next();
+        else if (arg == "--save") cli.save = next();
+        else if (arg == "--engine") cli.engine = next();
+        else if (arg == "--topology") cli.topology = next();
+        else if (arg == "--reorder") cli.reorder = next();
+        else if (arg == "--scale") cli.scale = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--edges") cli.edges = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--vertices") cli.vertices = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--degree") cli.degree = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--width") cli.width = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--height") cli.height = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--threads") cli.threads = std::atoi(next());
+        else if (arg == "--runs") cli.runs = std::atoi(next());
+        else if (arg == "--seed") cli.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--validate") cli.validate = true;
+        else usage(argv[0]);
+    }
+    return cli;
+}
+
+sge::Topology parse_topology(const std::string& spec) {
+    using sge::Topology;
+    if (spec == "detect") return Topology::detect();
+    if (spec == "ep") return Topology::nehalem_ep();
+    if (spec == "ex") return Topology::nehalem_ex();
+    int s = 0;
+    int c = 0;
+    int t = 0;
+    if (std::sscanf(spec.c_str(), "%dx%dx%d", &s, &c, &t) == 3)
+        return Topology::emulate(s, c, t);
+    std::fprintf(stderr, "bad --topology '%s'\n", spec.c_str());
+    std::exit(2);
+}
+
+sge::BfsEngine parse_engine(const std::string& name) {
+    using sge::BfsEngine;
+    if (name == "auto") return BfsEngine::kAuto;
+    if (name == "serial") return BfsEngine::kSerial;
+    if (name == "naive") return BfsEngine::kNaive;
+    if (name == "bitmap") return BfsEngine::kBitmap;
+    if (name == "multisocket") return BfsEngine::kMultiSocket;
+    if (name == "hybrid") return BfsEngine::kHybrid;
+    std::fprintf(stderr, "bad --engine '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+sge::CsrGraph make_graph(const Cli& cli) {
+    using namespace sge;
+    if (!cli.load.empty()) return read_csr(cli.load);
+
+    EdgeList edges;
+    if (cli.gen == "rmat") {
+        RmatParams params;
+        params.scale = cli.scale;
+        params.num_edges = cli.edges ? cli.edges : (8ULL << cli.scale);
+        params.seed = cli.seed;
+        edges = generate_rmat(params);
+        permute_vertices(edges, cli.seed + 1);
+    } else if (cli.gen == "uniform") {
+        UniformParams params;
+        params.num_vertices = cli.vertices
+                                  ? static_cast<vertex_t>(cli.vertices)
+                                  : (1u << cli.scale);
+        params.degree = cli.degree;
+        params.seed = cli.seed;
+        edges = generate_uniform(params);
+    } else if (cli.gen == "grid") {
+        GridParams params;
+        params.width = cli.width;
+        params.height = cli.height;
+        edges = generate_grid(params);
+    } else if (cli.gen == "ssca2") {
+        Ssca2Params params;
+        params.num_vertices = cli.vertices
+                                  ? static_cast<vertex_t>(cli.vertices)
+                                  : (1u << cli.scale);
+        params.seed = cli.seed;
+        edges = generate_ssca2(params);
+    } else if (cli.gen == "smallworld") {
+        SmallWorldParams params;
+        params.num_vertices = cli.vertices
+                                  ? static_cast<vertex_t>(cli.vertices)
+                                  : (1u << cli.scale);
+        params.mean_degree = cli.degree;
+        params.seed = cli.seed;
+        edges = generate_small_world(params);
+    } else {
+        std::fprintf(stderr, "bad --gen '%s'\n", cli.gen.c_str());
+        std::exit(2);
+    }
+    return csr_from_edges(edges);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace sge;
+    const Cli cli = parse(argc, argv);
+
+    CsrGraph graph = make_graph(cli);
+    if (cli.reorder != "none") {
+        std::vector<vertex_t> perm;
+        if (cli.reorder == "degree") {
+            perm = degree_descending_order(graph);
+        } else if (cli.reorder == "bfs") {
+            vertex_t root = 0;
+            while (root + 1 < graph.num_vertices() && graph.degree(root) == 0)
+                ++root;
+            perm = bfs_visit_order(graph, root);
+        } else if (cli.reorder == "shuffle") {
+            EdgeList edges = edges_from_csr(graph);
+            permute_vertices(edges, cli.seed + 99);
+            BuildOptions keep;
+            keep.make_undirected = false;
+            graph = csr_from_edges(edges, keep);
+        } else {
+            std::fprintf(stderr, "bad --reorder '%s'\n", cli.reorder.c_str());
+            return 2;
+        }
+        if (!perm.empty()) graph = apply_vertex_permutation(graph, perm);
+        std::printf("relabelled vertices: %s order\n", cli.reorder.c_str());
+    }
+    if (!cli.save.empty()) {
+        write_csr(graph, cli.save);
+        std::printf("saved to %s\n", cli.save.c_str());
+    }
+
+    const DegreeStats degrees = compute_degree_stats(graph);
+    std::printf("graph: %u vertices, %llu arcs; %s\n", graph.num_vertices(),
+                static_cast<unsigned long long>(graph.num_edges()),
+                degrees.describe().c_str());
+
+    BfsOptions options;
+    options.engine = parse_engine(cli.engine);
+    options.topology = parse_topology(cli.topology);
+    options.threads = cli.threads;
+    BfsRunner runner(options);
+    std::printf("engine: %s, %d threads on %s\n",
+                to_string(runner.resolved_engine()).c_str(), runner.threads(),
+                runner.topology().describe().c_str());
+
+    Xoshiro256 rng(cli.seed + 1000);
+    double best = 0.0;
+    for (int run = 0; run < cli.runs; ++run) {
+        vertex_t root;
+        do {
+            root = static_cast<vertex_t>(rng.next_below(graph.num_vertices()));
+        } while (graph.degree(root) == 0);
+
+        const BfsResult result = runner.run(graph, root);
+        const double meps = result.edges_per_second() / 1e6;
+        best = std::max(best, meps);
+        std::printf(
+            "  run %d: root %u -> %llu vertices, %u levels, %.3f s, %.1f ME/s\n",
+            run, root, static_cast<unsigned long long>(result.vertices_visited),
+            result.num_levels, result.seconds, meps);
+
+        if (cli.validate) {
+            const ValidationReport report = validate_bfs_tree(graph, root, result);
+            if (!report.ok) {
+                std::printf("  VALIDATION FAILED: %s\n", report.error.c_str());
+                return 1;
+            }
+        }
+    }
+    std::printf("best: %.1f million edges/second\n", best);
+    return 0;
+}

@@ -1,0 +1,96 @@
+#include "analytics/astar.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <stdexcept>
+
+namespace sge {
+
+AstarResult astar(const WeightedCsrGraph& g, vertex_t start, vertex_t goal,
+                  const HeuristicFn& heuristic) {
+    const vertex_t n = g.num_vertices();
+    if (start >= n || goal >= n)
+        throw std::out_of_range("astar: endpoint out of range");
+
+    AstarResult result;
+    std::vector<dist_t> best(n, kInfiniteDistance);  // g-values
+    std::vector<vertex_t> parent(n, kInvalidVertex);
+
+    using Entry = std::pair<dist_t, vertex_t>;  // (f = g + h, vertex)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+    best[start] = 0;
+    parent[start] = start;
+    open.emplace(heuristic(start), start);
+
+    while (!open.empty()) {
+        const auto [f, u] = open.top();
+        open.pop();
+        const dist_t gu = best[u];
+        // Stale entry: u was re-queued with a better g since.
+        if (f > gu + heuristic(u)) continue;
+        ++result.vertices_expanded;
+        if (u == goal) break;  // first expansion of the goal is optimal
+
+        const auto adj = g.neighbors(u);
+        const auto w = g.weights(u);
+        for (std::size_t e = 0; e < adj.size(); ++e) {
+            ++result.edges_relaxed;
+            const dist_t nd = gu + w[e];
+            if (nd < best[adj[e]]) {
+                best[adj[e]] = nd;
+                parent[adj[e]] = u;
+                open.emplace(nd + heuristic(adj[e]), adj[e]);
+            }
+        }
+    }
+
+    if (best[goal] == kInfiniteDistance) return result;
+    result.found = true;
+    result.distance = best[goal];
+    for (vertex_t v = goal;; v = parent[v]) {
+        result.path.push_back(v);
+        if (parent[v] == v) break;
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    return result;
+}
+
+AstarResult uniform_cost_search(const WeightedCsrGraph& g, vertex_t start,
+                                vertex_t goal) {
+    return astar(g, start, goal, [](vertex_t) { return dist_t{0}; });
+}
+
+namespace {
+
+std::pair<std::int64_t, std::int64_t> grid_xy(std::uint32_t width, vertex_t v) {
+    return {static_cast<std::int64_t>(v % width),
+            static_cast<std::int64_t>(v / width)};
+}
+
+}  // namespace
+
+HeuristicFn grid_manhattan_heuristic(std::uint32_t width, vertex_t goal,
+                                     weight_t min_edge_weight) {
+    if (width == 0) throw std::invalid_argument("grid heuristic: width == 0");
+    const auto [gx, gy] = grid_xy(width, goal);
+    return [=](vertex_t v) -> dist_t {
+        const auto [x, y] = grid_xy(width, v);
+        return static_cast<dist_t>(std::llabs(x - gx) + std::llabs(y - gy)) *
+               min_edge_weight;
+    };
+}
+
+HeuristicFn grid_chebyshev_heuristic(std::uint32_t width, vertex_t goal,
+                                     weight_t min_edge_weight) {
+    if (width == 0) throw std::invalid_argument("grid heuristic: width == 0");
+    const auto [gx, gy] = grid_xy(width, goal);
+    return [=](vertex_t v) -> dist_t {
+        const auto [x, y] = grid_xy(width, v);
+        return static_cast<dist_t>(
+                   std::max(std::llabs(x - gx), std::llabs(y - gy))) *
+               min_edge_weight;
+    };
+}
+
+}  // namespace sge

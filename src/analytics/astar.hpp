@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analytics/sssp.hpp"
+#include "graph/weighted.hpp"
+
+namespace sge {
+
+/// Admissible heuristic: a lower bound on the remaining cost from a
+/// vertex to the goal. h(goal) must be 0; overestimates void the
+/// optimality guarantee (the implementation still terminates and
+/// returns *a* path).
+using HeuristicFn = std::function<dist_t(vertex_t)>;
+
+/// Result of a goal-directed search.
+struct AstarResult {
+    bool found = false;
+    dist_t distance = kInfiniteDistance;
+    std::vector<vertex_t> path;  ///< start ... goal when found
+    std::uint64_t vertices_expanded = 0;
+    std::uint64_t edges_relaxed = 0;
+};
+
+/// A* — the last of the intro's BFS-derived searches ("best-first
+/// search, uniform-cost search, greedy-search and A*, which are
+/// commonly used in motion planning"). Uniform-cost search with the
+/// frontier ordered by g + h; with h == 0 it *is* Dijkstra, with a
+/// tight h it expands a corridor toward the goal. Throws
+/// std::out_of_range for bad endpoints.
+AstarResult astar(const WeightedCsrGraph& g, vertex_t start, vertex_t goal,
+                  const HeuristicFn& heuristic);
+
+/// Convenience: h == 0 (uniform-cost search with early goal exit).
+AstarResult uniform_cost_search(const WeightedCsrGraph& g, vertex_t start,
+                                vertex_t goal);
+
+/// Admissible heuristics for graphs produced by generate_grid with
+/// row-major ids (vertex = y * width + x):
+///  * Manhattan x min edge weight — admissible on 4-connected grids;
+///  * Chebyshev x min edge weight — admissible also with diagonals.
+HeuristicFn grid_manhattan_heuristic(std::uint32_t width, vertex_t goal,
+                                     weight_t min_edge_weight);
+HeuristicFn grid_chebyshev_heuristic(std::uint32_t width, vertex_t goal,
+                                     weight_t min_edge_weight);
+
+}  // namespace sge

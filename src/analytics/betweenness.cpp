@@ -1,0 +1,138 @@
+#include "analytics/betweenness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "concurrency/thread_team.hpp"
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+namespace {
+
+/// Per-worker traversal state, reused across sources.
+struct BrandesState {
+    explicit BrandesState(vertex_t n)
+        : sigma(n, 0), dist(n, kInvalidLevel), delta(n, 0.0), scores(n, 0.0) {
+        order.reserve(n);
+        frontier_ends.reserve(64);
+    }
+
+    std::vector<std::uint64_t> sigma;  // shortest-path counts
+    std::vector<level_t> dist;
+    std::vector<double> delta;         // dependency accumulator
+    std::vector<double> scores;        // this worker's partial centrality
+    std::vector<vertex_t> order;       // vertices in visit order
+    std::vector<std::size_t> frontier_ends;  // level boundaries in `order`
+
+    void accumulate_from(const CsrGraph& g, vertex_t s) {
+        // Phase 1: BFS from s, counting shortest paths.
+        order.clear();
+        frontier_ends.clear();
+        sigma[s] = 1;
+        dist[s] = 0;
+        order.push_back(s);
+        std::size_t level_begin = 0;
+        while (level_begin < order.size()) {
+            const std::size_t level_end = order.size();
+            frontier_ends.push_back(level_end);
+            for (std::size_t i = level_begin; i < level_end; ++i) {
+                const vertex_t u = order[i];
+                for (const vertex_t v : g.neighbors(u)) {
+                    if (dist[v] == kInvalidLevel) {
+                        dist[v] = dist[u] + 1;
+                        order.push_back(v);
+                    }
+                    if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+                }
+            }
+            level_begin = level_end;
+        }
+
+        // Phase 2: reverse sweep accumulating dependencies.
+        for (std::size_t i = order.size(); i-- > 1;) {
+            const vertex_t w = order[i];
+            const double coeff =
+                (1.0 + delta[w]) / static_cast<double>(sigma[w]);
+            for (const vertex_t v : g.neighbors(w)) {
+                if (dist[v] + 1 == dist[w])
+                    delta[v] += static_cast<double>(sigma[v]) * coeff;
+            }
+            scores[w] += delta[w];
+        }
+
+        // Reset only the touched vertices (sparse components stay cheap).
+        for (const vertex_t v : order) {
+            sigma[v] = 0;
+            dist[v] = kInvalidLevel;
+            delta[v] = 0.0;
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const CsrGraph& g,
+                                           const BetweennessOptions& options) {
+    const vertex_t n = g.num_vertices();
+    std::vector<double> centrality(n, 0.0);
+    if (n == 0) return centrality;
+
+    // Source set: all vertices, or a uniform sample without replacement.
+    std::vector<vertex_t> sources;
+    if (options.sample_sources == 0 || options.sample_sources >= n) {
+        sources.resize(n);
+        std::iota(sources.begin(), sources.end(), vertex_t{0});
+    } else {
+        std::vector<vertex_t> pool(n);
+        std::iota(pool.begin(), pool.end(), vertex_t{0});
+        Xoshiro256 rng(options.seed);
+        for (std::uint32_t i = 0; i < options.sample_sources; ++i) {
+            const auto j =
+                static_cast<std::size_t>(i + rng.next_below(n - i));
+            std::swap(pool[i], pool[j]);
+        }
+        pool.resize(options.sample_sources);
+        sources = std::move(pool);
+    }
+
+    const int threads = std::max(1, options.threads);
+    ThreadTeam team(threads,
+                    options.topology ? *options.topology : Topology::detect());
+
+    std::atomic<std::size_t> cursor{0};
+    std::vector<BrandesState> states;
+    states.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) states.emplace_back(n);
+
+    team.run([&](int tid) {
+        BrandesState& state = states[static_cast<std::size_t>(tid)];
+        for (;;) {
+            const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= sources.size()) break;
+            state.accumulate_from(g, sources[i]);
+        }
+    });
+
+    for (const BrandesState& state : states)
+        for (vertex_t v = 0; v < n; ++v) centrality[v] += state.scores[v];
+
+    // Sampling estimator: scale partial sums up to the full source set.
+    if (!sources.empty() && sources.size() < n) {
+        const double scale =
+            static_cast<double>(n) / static_cast<double>(sources.size());
+        for (double& c : centrality) c *= scale;
+    }
+    // Undirected graphs count each pair twice (once per endpoint order).
+    for (double& c : centrality) c *= 0.5;
+
+    if (options.normalize && n > 2) {
+        const double norm = 2.0 / (static_cast<double>(n - 1) *
+                                   static_cast<double>(n - 2));
+        for (double& c : centrality) c *= norm;
+    }
+    return centrality;
+}
+
+}  // namespace sge

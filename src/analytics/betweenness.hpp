@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// Options for betweenness centrality.
+struct BetweennessOptions {
+    /// Number of BFS sources to sample; 0 runs the exact algorithm from
+    /// every vertex (O(nm) — fine for test-sized graphs, prohibitive at
+    /// paper scale, where sampling is the standard estimator).
+    std::uint32_t sample_sources = 0;
+    std::uint64_t seed = 1;
+    /// Scale scores by 2 / ((n-1)(n-2)) (undirected normalization).
+    bool normalize = true;
+    /// Worker threads; sources are processed in parallel, one private
+    /// traversal state per worker (the SSCA#2 kernel-4 pattern — the
+    /// same per-socket independence Figure 10 measures).
+    int threads = 1;
+    std::optional<Topology> topology;
+};
+
+/// Brandes' betweenness centrality (unweighted): for each sampled source
+/// a BFS counts shortest paths (sigma), then a reverse sweep accumulates
+/// pair dependencies. BFS is the inner kernel — this is the canonical
+/// "BFS as a building block" application the paper's introduction
+/// motivates (community/importance analysis of semantic graphs), and the
+/// kernel 4 of the SSCA#2 suite whose throughput mode Figure 10 models.
+std::vector<double> betweenness_centrality(const CsrGraph& g,
+                                           const BetweennessOptions& options = {});
+
+}  // namespace sge

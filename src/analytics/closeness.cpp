@@ -1,0 +1,82 @@
+#include "analytics/closeness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/msbfs.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace sge {
+
+std::vector<ClosenessScore> closeness_centrality(const CsrGraph& g,
+                                                 std::span<const vertex_t> sources,
+                                                 const ClosenessOptions& options) {
+    for (const vertex_t s : sources)
+        if (s >= g.num_vertices())
+            throw std::out_of_range("closeness_centrality: source out of range");
+
+    std::vector<ClosenessScore> results(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        results[i].vertex = sources[i];
+
+    const int threads = std::max(1, options.threads);
+
+    // Greedy batching: up to 64 *distinct* vertices per MS-BFS run
+    // (duplicate requests land in later batches and are scored
+    // independently).
+    std::vector<std::size_t> pending(sources.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+
+    while (!pending.empty()) {
+        std::vector<std::size_t> batch;       // indices into `sources`
+        std::vector<vertex_t> batch_vertices;
+        std::vector<std::size_t> postponed;
+        for (const std::size_t idx : pending) {
+            const bool dup = std::find(batch_vertices.begin(),
+                                       batch_vertices.end(),
+                                       sources[idx]) != batch_vertices.end();
+            if (batch.size() < 64 && !dup) {
+                batch.push_back(idx);
+                batch_vertices.push_back(sources[idx]);
+            } else {
+                postponed.push_back(idx);
+            }
+        }
+        pending = std::move(postponed);
+
+        // Per-worker, per-lane accumulators; padded rows so workers
+        // never share lines.
+        struct Accum {
+            std::uint64_t sum[64] = {};
+            std::uint64_t count[64] = {};
+        };
+        std::vector<CachePadded<Accum>> accum(static_cast<std::size_t>(threads));
+
+        MsBfsOptions ms;
+        ms.threads = threads;
+        ms.topology = options.topology;
+        multi_source_bfs(
+            g, batch_vertices,
+            [&](int tid, level_t level, vertex_t, std::uint64_t mask) {
+                Accum& a = accum[static_cast<std::size_t>(tid)].value;
+                while (mask != 0) {
+                    const int lane = __builtin_ctzll(mask);
+                    mask &= mask - 1;
+                    a.sum[lane] += level;
+                    a.count[lane] += 1;
+                }
+            },
+            ms);
+
+        for (std::size_t lane = 0; lane < batch.size(); ++lane) {
+            ClosenessScore& score = results[batch[lane]];
+            for (const auto& a : accum) {
+                score.distance_sum += a.value.sum[lane];
+                score.reachable += a.value.count[lane];
+            }
+        }
+    }
+    return results;
+}
+
+}  // namespace sge

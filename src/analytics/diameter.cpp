@@ -1,0 +1,65 @@
+#include "analytics/diameter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace sge {
+
+namespace {
+
+/// Farthest reached vertex and its level in a BFS result.
+std::pair<vertex_t, level_t> farthest(const BfsResult& r) {
+    vertex_t far = kInvalidVertex;
+    level_t depth = 0;
+    for (vertex_t v = 0; v < r.level.size(); ++v) {
+        if (r.level[v] == kInvalidLevel) continue;
+        if (far == kInvalidVertex || r.level[v] > depth) {
+            far = v;
+            depth = r.level[v];
+        }
+    }
+    return {far, depth};
+}
+
+}  // namespace
+
+DiameterEstimate estimate_diameter(const CsrGraph& g, vertex_t start,
+                                   const BfsOptions& options,
+                                   std::uint32_t max_sweeps) {
+    if (start >= g.num_vertices())
+        throw std::out_of_range("estimate_diameter: start vertex out of range");
+
+    BfsOptions opts = options;
+    opts.compute_levels = true;  // eccentricities come from the levels
+
+    DiameterEstimate estimate;
+    estimate.upper_bound = std::numeric_limits<std::uint32_t>::max();
+
+    BfsRunner runner(opts);
+    vertex_t cursor = start;
+    for (std::uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        const BfsResult r = runner.run(g, cursor);
+        ++estimate.sweeps;
+        const auto [far, ecc] = farthest(r);
+
+        if (ecc > estimate.lower_bound ||
+            estimate.peripheral_vertex == kInvalidVertex) {
+            estimate.lower_bound = ecc;
+            estimate.peripheral_vertex = far;
+        }
+        // Eccentricity(v) <= diam <= 2 * ecc(v) for any v (triangle
+        // inequality through v): keep the tightest upper bound seen.
+        estimate.upper_bound = std::min(estimate.upper_bound, 2 * ecc);
+
+        if (estimate.exact()) break;
+        if (far == cursor || ecc < estimate.lower_bound) break;  // converged
+        if (ecc == estimate.lower_bound && sweep > 0 && far == estimate.peripheral_vertex)
+            break;  // no progress
+        cursor = far;
+    }
+    return estimate;
+}
+
+}  // namespace sge

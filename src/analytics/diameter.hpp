@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/bfs.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// Result of a diameter estimation on the component of the start vertex.
+struct DiameterEstimate {
+    /// Largest eccentricity observed across the sweeps: a certified
+    /// *lower* bound on the component's diameter.
+    std::uint32_t lower_bound = 0;
+    /// 2 x min eccentricity observed: a (crude) upper bound.
+    std::uint32_t upper_bound = 0;
+    /// Vertex realising the lower bound (an endpoint of a longest
+    /// observed shortest path).
+    vertex_t peripheral_vertex = kInvalidVertex;
+    /// BFS traversals spent.
+    std::uint32_t sweeps = 0;
+
+    [[nodiscard]] bool exact() const noexcept {
+        return lower_bound == upper_bound;
+    }
+};
+
+/// Estimates the diameter of `start`'s connected component by repeated
+/// double sweeps: BFS from the current vertex, hop to the farthest
+/// vertex found, repeat while the eccentricity keeps growing (up to
+/// `max_sweeps`). On trees this is exact; on general graphs it is the
+/// standard high-quality lower bound (Magnien, Latapy, Habib). Every
+/// sweep is a full traversal through the engine selected in `options` —
+/// this doubles as a realistic multi-BFS workload for the library.
+DiameterEstimate estimate_diameter(const CsrGraph& g, vertex_t start,
+                                   const BfsOptions& options = {},
+                                   std::uint32_t max_sweeps = 8);
+
+}  // namespace sge

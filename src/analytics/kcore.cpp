@@ -1,0 +1,69 @@
+#include "analytics/kcore.hpp"
+
+#include <algorithm>
+
+namespace sge {
+
+std::vector<vertex_t> KcoreResult::members_of(std::uint32_t k) const {
+    std::vector<vertex_t> out;
+    for (vertex_t v = 0; v < core.size(); ++v)
+        if (core[v] >= k) out.push_back(v);
+    return out;
+}
+
+KcoreResult kcore_decomposition(const CsrGraph& g) {
+    const vertex_t n = g.num_vertices();
+    KcoreResult result;
+    result.core.assign(n, 0);
+    if (n == 0) return result;
+
+    // Bucket sort vertices by (current) degree: bin[d] = start offset of
+    // degree-d vertices in `order`. This is the classic O(n + m) layout.
+    std::uint32_t max_degree = 0;
+    std::vector<std::uint32_t> degree(n);
+    for (vertex_t v = 0; v < n; ++v) {
+        degree[v] = static_cast<std::uint32_t>(g.degree(v));
+        max_degree = std::max(max_degree, degree[v]);
+    }
+
+    std::vector<std::size_t> bin(max_degree + 2, 0);
+    for (vertex_t v = 0; v < n; ++v) ++bin[degree[v] + 1];
+    for (std::size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+    std::vector<vertex_t> order(n);       // vertices sorted by degree
+    std::vector<std::size_t> position(n); // position of v in `order`
+    {
+        std::vector<std::size_t> cursor(bin.begin(), bin.end() - 1);
+        for (vertex_t v = 0; v < n; ++v) {
+            position[v] = cursor[degree[v]]++;
+            order[position[v]] = v;
+        }
+    }
+
+    // Peel in degree order; when v is removed with current degree d,
+    // core(v) = d, and each yet-unpeeled neighbour's degree drops by one
+    // (moved one bucket down via a swap with its bucket's first member).
+    for (std::size_t i = 0; i < n; ++i) {
+        const vertex_t v = order[i];
+        result.core[v] = degree[v];
+        for (const vertex_t u : g.neighbors(v)) {
+            if (degree[u] <= degree[v]) continue;  // already peeled or tied
+            const std::size_t pu = position[u];
+            const std::size_t pw = bin[degree[u]];  // bucket head
+            const vertex_t w = order[pw];
+            if (u != w) {
+                std::swap(order[pu], order[pw]);
+                position[u] = pw;
+                position[w] = pu;
+            }
+            ++bin[degree[u]];
+            --degree[u];
+        }
+    }
+
+    result.degeneracy =
+        *std::max_element(result.core.begin(), result.core.end());
+    return result;
+}
+
+}  // namespace sge

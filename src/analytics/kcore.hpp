@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// k-core decomposition of a symmetric graph.
+struct KcoreResult {
+    /// core[v] = largest k such that v belongs to the k-core (the
+    /// maximal subgraph where every vertex has degree >= k inside it).
+    std::vector<std::uint32_t> core;
+    /// Largest core number in the graph (degeneracy).
+    std::uint32_t degeneracy = 0;
+
+    /// Vertices with core number >= k.
+    [[nodiscard]] std::vector<vertex_t> members_of(std::uint32_t k) const;
+};
+
+/// Peeling algorithm (Matula & Beck / Batagelj & Zaversnik): O(n + m)
+/// bucket sort by degree, repeatedly remove the minimum-degree vertex.
+/// The community-analysis companion to connected components from the
+/// paper's introduction: cores are the standard "dense group" filter on
+/// semantic/social graphs before heavier analyses run.
+KcoreResult kcore_decomposition(const CsrGraph& g);
+
+}  // namespace sge

@@ -1,0 +1,74 @@
+#include "analytics/label_propagation.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+CommunityResult label_propagation(const CsrGraph& g,
+                                  const LabelPropagationOptions& options) {
+    const vertex_t n = g.num_vertices();
+    CommunityResult result;
+    result.community.resize(n);
+    if (n == 0) {
+        result.converged = true;
+        return result;
+    }
+
+    // Labels start unique; the sweep order is a fixed random permutation
+    // (asynchronous LP needs *some* order randomisation to avoid the
+    // bipartite oscillation of the synchronous variant).
+    std::vector<vertex_t> label(n);
+    std::iota(label.begin(), label.end(), vertex_t{0});
+    std::vector<vertex_t> order(n);
+    std::iota(order.begin(), order.end(), vertex_t{0});
+    Xoshiro256 rng(options.seed);
+    for (vertex_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.next_below(i)]);
+
+    std::unordered_map<vertex_t, std::uint32_t> votes;
+    for (result.iterations = 0; result.iterations < options.max_iterations;
+         ++result.iterations) {
+        bool changed = false;
+        for (const vertex_t v : order) {
+            const auto adj = g.neighbors(v);
+            if (adj.empty()) continue;
+            votes.clear();
+            for (const vertex_t w : adj) ++votes[label[w]];
+            // Most frequent neighbour label; ties -> smallest label, so
+            // the result is deterministic.
+            vertex_t best = label[v];
+            std::uint32_t best_count = 0;
+            for (const auto& [lab, count] : votes) {
+                if (count > best_count ||
+                    (count == best_count && lab < best)) {
+                    best = lab;
+                    best_count = count;
+                }
+            }
+            if (best != label[v]) {
+                label[v] = best;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            result.converged = true;
+            ++result.iterations;
+            break;
+        }
+    }
+
+    // Densify label ids.
+    std::unordered_map<vertex_t, std::uint32_t> dense;
+    for (vertex_t v = 0; v < n; ++v) {
+        const auto [it, inserted] =
+            dense.try_emplace(label[v], static_cast<std::uint32_t>(dense.size()));
+        result.community[v] = it->second;
+    }
+    result.num_communities = static_cast<std::uint32_t>(dense.size());
+    return result;
+}
+
+}  // namespace sge

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+struct LabelPropagationOptions {
+    /// Hard iteration cap (LP usually stabilises in < 10 sweeps).
+    int max_iterations = 20;
+    /// Tie-break / vertex-order randomisation seed.
+    std::uint64_t seed = 1;
+};
+
+struct CommunityResult {
+    /// community[v] = dense community id in [0, num_communities).
+    std::vector<std::uint32_t> community;
+    std::uint32_t num_communities = 0;
+    int iterations = 0;
+    bool converged = false;  ///< no label changed in the final sweep
+};
+
+/// Synchronous-free (in-place) label propagation community detection
+/// (Raghavan, Albert, Kumara 2007): each vertex repeatedly adopts the
+/// most frequent label among its neighbours until no label changes.
+/// Deterministic for a given seed (ties broken by smallest label,
+/// vertex order shuffled once up front). This is the direct
+/// implementation of the paper's community-analysis motivation ([4]-[7]
+/// in its introduction).
+CommunityResult label_propagation(const CsrGraph& g,
+                                  const LabelPropagationOptions& options = {});
+
+}  // namespace sge

@@ -1,0 +1,43 @@
+#include "analytics/level_histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sge {
+
+std::vector<std::uint64_t> level_histogram(const BfsResult& result) {
+    if (result.level.empty())
+        throw std::invalid_argument(
+            "level_histogram: BFS was run without compute_levels");
+
+    std::vector<std::uint64_t> histogram;
+    for (const level_t l : result.level) {
+        if (l == kInvalidLevel) continue;
+        if (histogram.size() <= l) histogram.resize(l + 1, 0);
+        ++histogram[l];
+    }
+    return histogram;
+}
+
+std::string render_level_histogram(const std::vector<std::uint64_t>& histogram,
+                                   std::size_t max_width) {
+    if (histogram.empty()) return "(empty)\n";
+    const std::uint64_t peak =
+        *std::max_element(histogram.begin(), histogram.end());
+    if (max_width == 0) max_width = 1;
+
+    std::ostringstream out;
+    for (std::size_t d = 0; d < histogram.size(); ++d) {
+        const std::size_t bar =
+            peak == 0 ? 0
+                      : static_cast<std::size_t>(
+                            (histogram[d] * max_width + peak - 1) / peak);
+        out << "level " << d << " | ";
+        for (std::size_t i = 0; i < bar; ++i) out << '#';
+        out << ' ' << histogram[d] << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace sge

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bfs.hpp"
+
+namespace sge {
+
+/// histogram[d] = number of vertices at BFS distance d from the root.
+/// Computed from BfsResult::level (requires compute_levels). The shape
+/// of this curve is what separates the paper's workloads: R-MAT graphs
+/// have a short, explosive frontier (tiny diameter), grids a long flat
+/// one.
+std::vector<std::uint64_t> level_histogram(const BfsResult& result);
+
+/// Renders the histogram as a fixed-width ASCII bar chart (examples and
+/// debugging output).
+std::string render_level_histogram(const std::vector<std::uint64_t>& histogram,
+                                   std::size_t max_width = 60);
+
+}  // namespace sge

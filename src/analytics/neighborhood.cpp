@@ -1,0 +1,85 @@
+#include "analytics/neighborhood.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/msbfs.hpp"
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+double NeighborhoodFunction::effective_diameter(double quantile) const {
+    if (pairs.empty()) return 0.0;
+    if (quantile <= 0.0 || quantile > 1.0)
+        throw std::invalid_argument(
+            "effective_diameter: quantile must be in (0, 1]");
+    const double target = quantile * pairs.back();
+    if (pairs[0] >= target) return 0.0;
+    for (std::size_t h = 1; h < pairs.size(); ++h) {
+        if (pairs[h] < target) continue;
+        // Linear interpolation between h-1 and h (the convention of
+        // Palmer/Gibbons/Faloutsos' ANF and SNAP).
+        const double below = pairs[h - 1];
+        const double span = pairs[h] - below;
+        return span <= 0.0
+                   ? static_cast<double>(h)
+                   : static_cast<double>(h - 1) + (target - below) / span;
+    }
+    return static_cast<double>(pairs.size() - 1);
+}
+
+NeighborhoodFunction approximate_neighborhood_function(
+    const CsrGraph& g, const NeighborhoodOptions& options) {
+    const vertex_t n = g.num_vertices();
+    NeighborhoodFunction nf;
+    if (n == 0) return nf;
+
+    // Sample distinct sources (all of them when samples >= n).
+    std::vector<vertex_t> sources(n);
+    std::iota(sources.begin(), sources.end(), vertex_t{0});
+    const std::uint32_t k = std::min<std::uint32_t>(
+        std::max<std::uint32_t>(options.sample_sources, 1), n);
+    Xoshiro256 rng(options.seed);
+    for (std::uint32_t i = 0; i < k; ++i) {
+        const auto j = static_cast<std::size_t>(i + rng.next_below(n - i));
+        std::swap(sources[i], sources[j]);
+    }
+    sources.resize(k);
+
+    // counts[h] = #(sampled source, vertex) discoveries at level h,
+    // accumulated across MS-BFS batches of 64 lanes. The visitor runs
+    // concurrently; a mutex-guarded vector is fine because discoveries
+    // arrive pre-aggregated per (vertex, level).
+    std::vector<std::uint64_t> counts;
+    std::mutex mu;
+    MsBfsOptions ms;
+    ms.threads = options.threads;
+    ms.topology = options.topology;
+    for (std::size_t base = 0; base < sources.size(); base += 64) {
+        const std::size_t take = std::min<std::size_t>(64, sources.size() - base);
+        multi_source_bfs(
+            g, {sources.data() + base, take},
+            [&](int, level_t level, vertex_t, std::uint64_t mask) {
+                const auto found =
+                    static_cast<std::uint64_t>(__builtin_popcountll(mask));
+                std::lock_guard lock(mu);
+                if (counts.size() <= level) counts.resize(level + 1, 0);
+                counts[level] += found;
+            },
+            ms);
+    }
+
+    // Cumulative sum, scaled from k sampled rows to all n rows.
+    const double scale = static_cast<double>(n) / static_cast<double>(k);
+    nf.pairs.resize(counts.size());
+    double running = 0.0;
+    for (std::size_t h = 0; h < counts.size(); ++h) {
+        running += static_cast<double>(counts[h]);
+        nf.pairs[h] = running * scale;
+    }
+    return nf;
+}
+
+}  // namespace sge

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// The neighbourhood function N(h): how many ordered vertex pairs are
+/// within h hops of each other. Its saturation point is the *effective
+/// diameter* — the standard small-world summary statistic of the
+/// semantic/social graphs the paper's workloads model.
+struct NeighborhoodFunction {
+    /// pairs[h] = estimated #ordered pairs (u, v) with dist(u,v) <= h
+    /// (including u == v at h = 0).
+    std::vector<double> pairs;
+
+    /// Smallest h (linearly interpolated) where N(h) reaches `quantile`
+    /// of its final value. The conventional effective diameter uses
+    /// quantile = 0.9.
+    [[nodiscard]] double effective_diameter(double quantile = 0.9) const;
+};
+
+struct NeighborhoodOptions {
+    /// Sources to sample (clamped to n). Estimates scale by n/samples;
+    /// with samples >= n the function is exact.
+    std::uint32_t sample_sources = 64;
+    std::uint64_t seed = 1;
+    int threads = 1;
+    std::optional<Topology> topology;
+};
+
+/// ANF-style estimate via the bit-parallel MS-BFS: sampled sources run
+/// 64 to a traversal, each discovery (s, v, h) contributes to N(h).
+NeighborhoodFunction approximate_neighborhood_function(
+    const CsrGraph& g, const NeighborhoodOptions& options = {});
+
+}  // namespace sge

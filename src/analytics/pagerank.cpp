@@ -1,0 +1,109 @@
+#include "analytics/pagerank.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "concurrency/spin_barrier.hpp"
+#include "concurrency/thread_team.hpp"
+
+namespace sge {
+
+PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& options) {
+    if (options.damping < 0.0 || options.damping >= 1.0)
+        throw std::invalid_argument("pagerank: damping must be in [0, 1)");
+    const vertex_t n = g.num_vertices();
+    PageRankResult result;
+    if (n == 0) {
+        result.converged = true;
+        return result;
+    }
+
+    const double d = options.damping;
+    const double base = (1.0 - d) / n;
+    result.score.assign(n, 1.0 / n);
+    std::vector<double> next(n, 0.0);
+    // contribution[u] = score[u] / deg(u), precomputed per iteration so
+    // the pull loop is a pure stream over the CSR.
+    std::vector<double> contribution(n, 0.0);
+
+    const int threads = std::max(1, options.threads);
+    ThreadTeam team(threads,
+                    options.topology ? *options.topology : Topology::detect());
+    SpinBarrier barrier(threads);
+
+    struct Shared {
+        // double accumulation via per-thread slots, reduced by tid 0
+        // (deterministic order — an atomic-double sum would not be).
+        std::vector<double> dangling_parts;
+        std::vector<double> error_parts;
+        double dangling_share = 0.0;
+        double error = 0.0;
+        bool stop = false;
+        int iterations = 0;
+    } shared;
+    shared.dangling_parts.assign(static_cast<std::size_t>(threads), 0.0);
+    shared.error_parts.assign(static_cast<std::size_t>(threads), 0.0);
+
+    team.run([&](int tid) {
+        const std::size_t per =
+            (n + static_cast<std::size_t>(threads) - 1) / threads;
+        const std::size_t begin = static_cast<std::size_t>(tid) * per;
+        const std::size_t end = std::min<std::size_t>(begin + per, n);
+
+        for (;;) {
+            // Pass 1: per-vertex contributions + this thread's dangling mass.
+            double dangling = 0.0;
+            for (std::size_t v = begin; v < end; ++v) {
+                const auto deg = g.degree(static_cast<vertex_t>(v));
+                if (deg == 0) {
+                    dangling += result.score[v];
+                    contribution[v] = 0.0;
+                } else {
+                    contribution[v] = result.score[v] / static_cast<double>(deg);
+                }
+            }
+            shared.dangling_parts[static_cast<std::size_t>(tid)] = dangling;
+            barrier.arrive_and_wait();
+
+            if (tid == 0) {
+                double total = 0.0;
+                for (const double p : shared.dangling_parts) total += p;
+                shared.dangling_share = d * total / n;
+            }
+            barrier.arrive_and_wait();
+
+            // Pass 2: pull.
+            double error = 0.0;
+            const double add = base + shared.dangling_share;
+            for (std::size_t v = begin; v < end; ++v) {
+                double sum = 0.0;
+                for (const vertex_t u : g.neighbors(static_cast<vertex_t>(v)))
+                    sum += contribution[u];
+                next[v] = add + d * sum;
+                error += std::fabs(next[v] - result.score[v]);
+            }
+            shared.error_parts[static_cast<std::size_t>(tid)] = error;
+            barrier.arrive_and_wait();
+
+            if (tid == 0) {
+                shared.error = 0.0;
+                for (const double p : shared.error_parts) shared.error += p;
+                result.score.swap(next);
+                ++shared.iterations;
+                shared.stop = shared.error < options.tolerance ||
+                              shared.iterations >= options.max_iterations;
+            }
+            barrier.arrive_and_wait();
+            if (shared.stop) break;
+        }
+    });
+
+    result.iterations = shared.iterations;
+    result.error = shared.error;
+    result.converged = shared.error < options.tolerance;
+    return result;
+}
+
+}  // namespace sge

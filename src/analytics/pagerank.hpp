@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+struct PageRankOptions {
+    double damping = 0.85;
+    /// Converged when the L1 change between iterations drops below this.
+    double tolerance = 1e-7;
+    int max_iterations = 100;
+    int threads = 1;
+    std::optional<Topology> topology;
+};
+
+struct PageRankResult {
+    /// score[v] sums to 1 over all vertices.
+    std::vector<double> score;
+    int iterations = 0;
+    double error = 0.0;  ///< final L1 change
+    bool converged = false;
+};
+
+/// Pull-based PageRank power iteration, parallel over vertex ranges on
+/// the library's thread team — the "business analytics" counterpoint to
+/// the traversal kernels: same CSR, same workers, but streaming
+/// (bandwidth-bound) instead of frontier-driven (latency-bound).
+///
+/// Treats the stored arcs as both in- and out-edges, i.e. expects a
+/// symmetric graph (the builder default). Dangling vertices' mass is
+/// redistributed uniformly each iteration, so scores always sum to 1.
+PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& options = {});
+
+}  // namespace sge

@@ -1,0 +1,204 @@
+#include "analytics/parallel_sssp.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "concurrency/spin_barrier.hpp"
+#include "concurrency/thread_team.hpp"
+#include "runtime/timer.hpp"
+
+namespace sge {
+
+namespace {
+
+/// CAS-min on a tentative distance. Returns true when `nd` won (strictly
+/// improved the stored value).
+bool relax_min(std::uint64_t& slot, dist_t nd) noexcept {
+    std::atomic_ref<std::uint64_t> ref(slot);
+    std::uint64_t cur = ref.load(std::memory_order_relaxed);
+    while (nd < cur) {
+        if (ref.compare_exchange_weak(cur, nd, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+enum class Phase { kLight, kHeavy };
+
+}  // namespace
+
+SsspResult parallel_delta_stepping(const WeightedCsrGraph& g, vertex_t source,
+                                   const ParallelSsspOptions& options) {
+    const vertex_t n = g.num_vertices();
+    if (source >= n)
+        throw std::out_of_range("parallel_delta_stepping: source out of range");
+
+    WallTimer timer;
+    SsspResult result;
+    result.distance.assign(n, kInfiniteDistance);
+    result.parent.assign(n, kInvalidVertex);
+    result.distance[source] = 0;
+    result.parent[source] = source;
+
+    weight_t delta = options.delta;
+    if (delta == 0) {
+        std::uint64_t total = 0;
+        for (const weight_t w : g.all_weights()) total += w;
+        const std::uint64_t m = g.num_edges();
+        delta = m == 0 ? 1
+                       : static_cast<weight_t>(std::max<std::uint64_t>(
+                             1, total / std::max<std::uint64_t>(m, 1)));
+    }
+    const auto bucket_of = [delta](dist_t d) {
+        return static_cast<std::size_t>(d / delta);
+    };
+
+    const int threads = std::max(1, options.threads);
+    const std::size_t chunk = std::max<std::size_t>(1, options.chunk_size);
+    ThreadTeam team(threads,
+                    options.topology ? *options.topology : Topology::detect());
+    SpinBarrier barrier(threads);
+
+    // Thread-local staging, merged by thread 0 between barriers.
+    struct ThreadState {
+        std::vector<std::pair<std::size_t, vertex_t>> pending;  // (bucket, v)
+        std::vector<vertex_t> settled;  // candidates for the heavy phase
+        std::uint64_t edges_relaxed = 0;
+    };
+    std::vector<ThreadState> states(static_cast<std::size_t>(threads));
+
+    // Buckets keyed by index (sparse: only touched buckets exist).
+    // Accessed by thread 0 only, between barriers.
+    std::map<std::size_t, std::vector<vertex_t>> buckets;
+    buckets[0].push_back(source);
+
+    struct Shared {
+        std::vector<vertex_t> frontier;
+        std::atomic<std::size_t> cursor{0};
+        std::size_t bucket = 0;
+        Phase phase = Phase::kLight;
+        bool done = false;
+    } shared;
+    shared.frontier = std::move(buckets.begin()->second);
+    buckets.erase(buckets.begin());
+
+    std::uint64_t* const dist = result.distance.data();
+
+    team.run([&](int tid) {
+        ThreadState& local = states[static_cast<std::size_t>(tid)];
+        for (;;) {
+            // ---- process the current frontier ----
+            const bool light = shared.phase == Phase::kLight;
+            const std::size_t my_bucket = shared.bucket;
+            for (;;) {
+                const std::size_t base =
+                    shared.cursor.fetch_add(chunk, std::memory_order_relaxed);
+                if (base >= shared.frontier.size()) break;
+                const std::size_t stop = std::min(base + chunk,
+                                                  shared.frontier.size());
+                for (std::size_t i = base; i < stop; ++i) {
+                    const vertex_t u = shared.frontier[i];
+                    const dist_t du = std::atomic_ref<std::uint64_t>(dist[u])
+                                          .load(std::memory_order_acquire);
+                    // Stale entry: u moved to a lighter bucket since it
+                    // was queued here.
+                    if (du == kInfiniteDistance || bucket_of(du) != my_bucket)
+                        continue;
+                    if (light) local.settled.push_back(u);
+
+                    const auto adj = g.neighbors(u);
+                    const auto w = g.weights(u);
+                    for (std::size_t e = 0; e < adj.size(); ++e) {
+                        const bool is_light = w[e] <= delta;
+                        if (is_light != light) continue;
+                        ++local.edges_relaxed;
+                        const dist_t nd = du + w[e];
+                        if (relax_min(dist[adj[e]], nd))
+                            local.pending.emplace_back(bucket_of(nd), adj[e]);
+                    }
+                }
+            }
+            barrier.arrive_and_wait();
+
+            // ---- thread 0: merge staging, steer the next phase ----
+            if (tid == 0) {
+                for (ThreadState& s : states) {
+                    for (const auto& [b, v] : s.pending)
+                        buckets[b].push_back(v);
+                    s.pending.clear();
+                }
+
+                const auto current = buckets.find(shared.bucket);
+                if (shared.phase == Phase::kLight &&
+                    current != buckets.end() && !current->second.empty()) {
+                    // Another light round: re-inserted vertices of this
+                    // bucket.
+                    shared.frontier = std::move(current->second);
+                    buckets.erase(current);
+                } else if (shared.phase == Phase::kLight) {
+                    // Bucket settled: heavy edges fire once, from every
+                    // vertex any worker settled in this bucket.
+                    shared.frontier.clear();
+                    for (ThreadState& s : states) {
+                        shared.frontier.insert(shared.frontier.end(),
+                                               s.settled.begin(),
+                                               s.settled.end());
+                        s.settled.clear();
+                    }
+                    shared.phase = Phase::kHeavy;
+                } else {
+                    // Advance to the next non-empty bucket.
+                    const auto next = buckets.lower_bound(shared.bucket + 1);
+                    if (next == buckets.end()) {
+                        shared.done = true;
+                    } else {
+                        shared.bucket = next->first;
+                        shared.frontier = std::move(next->second);
+                        buckets.erase(next);
+                        shared.phase = Phase::kLight;
+                    }
+                }
+                shared.cursor.store(0, std::memory_order_relaxed);
+            }
+            barrier.arrive_and_wait();
+            if (shared.done) break;
+        }
+    });
+
+    // Rebuild parents from final distances: CAS winners may have raced
+    // their parent stores, so the tree is derived, not tracked. Any
+    // neighbour u with dist[u] + w(u,v) == dist[v] is a valid parent.
+    team.run([&](int tid) {
+        const std::size_t per =
+            (n + static_cast<std::size_t>(threads) - 1) / threads;
+        const std::size_t begin = static_cast<std::size_t>(tid) * per;
+        const std::size_t end = std::min<std::size_t>(begin + per, n);
+        for (std::size_t vi = begin; vi < end; ++vi) {
+            const auto v = static_cast<vertex_t>(vi);
+            if (v == source || result.distance[v] == kInfiniteDistance) continue;
+            const auto adj = g.neighbors(v);
+            const auto w = g.weights(v);  // symmetric weights: w(v,u)==w(u,v)
+            for (std::size_t e = 0; e < adj.size(); ++e) {
+                const vertex_t u = adj[e];
+                if (result.distance[u] != kInfiniteDistance &&
+                    result.distance[u] + w[e] == result.distance[v]) {
+                    result.parent[v] = u;
+                    break;
+                }
+            }
+        }
+    });
+
+    for (const ThreadState& s : states) result.edges_relaxed += s.edges_relaxed;
+    for (const dist_t d : result.distance)
+        if (d != kInfiniteDistance) ++result.vertices_settled;
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace sge

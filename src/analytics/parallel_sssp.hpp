@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+
+#include "analytics/sssp.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// Options for the parallel delta-stepping engine.
+struct ParallelSsspOptions {
+    /// Bucket width; 0 selects max(1, mean edge weight).
+    weight_t delta = 0;
+    int threads = 1;
+    std::optional<Topology> topology;
+    /// Vertices a worker claims from the active bucket per cursor bump.
+    std::size_t chunk_size = 64;
+};
+
+/// Bucket-synchronous parallel delta-stepping — the weighted
+/// generalisation of the paper's level-synchronous BFS, built from the
+/// same substrates: a persistent thread team, chunked frontier claiming
+/// via an atomic cursor, thread-local staging merged between barriers,
+/// and a CAS-min on the tentative-distance array playing the role the
+/// visited bitmap plays in BFS (the winner of the atomic owns the
+/// update). Light-edge rounds within a bucket correspond to BFS levels;
+/// the heavy-edge phase fires once per bucket.
+///
+/// Produces exactly Dijkstra's distances (validated against the serial
+/// reference in the test suite). The parent tree is *derived* from the
+/// final distances in a post-pass (concurrent CAS winners cannot track
+/// parents atomically alongside 64-bit distances), which assumes
+/// symmetric weights — what with_random_weights() produces; on
+/// asymmetric inputs distances remain exact but parents may be absent.
+SsspResult parallel_delta_stepping(const WeightedCsrGraph& g, vertex_t source,
+                                   const ParallelSsspOptions& options = {});
+
+}  // namespace sge

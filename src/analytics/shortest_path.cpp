@@ -1,0 +1,37 @@
+#include "analytics/shortest_path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sge {
+
+std::optional<std::vector<vertex_t>> extract_path(const BfsResult& result,
+                                                  vertex_t target) {
+    if (target >= result.parent.size())
+        throw std::out_of_range("extract_path: target out of range");
+    if (result.parent[target] == kInvalidVertex) return std::nullopt;
+
+    std::vector<vertex_t> path;
+    vertex_t cur = target;
+    for (;;) {
+        path.push_back(cur);
+        const vertex_t p = result.parent[cur];
+        if (p == cur) break;  // reached the root
+        if (p == kInvalidVertex || path.size() > result.parent.size())
+            throw std::invalid_argument(
+                "extract_path: corrupt parent array (broken chain or cycle)");
+        cur = p;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::optional<std::vector<vertex_t>> shortest_path(const CsrGraph& g,
+                                                   vertex_t source,
+                                                   vertex_t target,
+                                                   const BfsOptions& options) {
+    const BfsResult result = bfs(g, source, options);
+    return extract_path(result, target);
+}
+
+}  // namespace sge

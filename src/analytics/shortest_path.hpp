@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// Extracts the root -> target path from a BFS parent array. Returns
+/// nullopt when `target` was not reached. Throws std::invalid_argument
+/// when the parent array is corrupt (chain longer than n, i.e. a cycle —
+/// which validate_bfs_tree would also flag).
+std::optional<std::vector<vertex_t>> extract_path(const BfsResult& result,
+                                                  vertex_t target);
+
+/// Single-pair shortest (hop) path: runs a BFS from `source` with the
+/// given options and extracts the path. This is the paper's motivating
+/// semantic-graph primitive ("the relationship between two vertices is
+/// expressed by the properties of the shortest path between them").
+std::optional<std::vector<vertex_t>> shortest_path(const CsrGraph& g,
+                                                   vertex_t source,
+                                                   vertex_t target,
+                                                   const BfsOptions& options = {});
+
+}  // namespace sge

@@ -1,0 +1,143 @@
+#include "analytics/sssp.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/timer.hpp"
+
+namespace sge {
+
+namespace {
+
+void check_source(const WeightedCsrGraph& g, vertex_t source) {
+    if (source >= g.num_vertices())
+        throw std::out_of_range("sssp: source vertex out of range");
+}
+
+SsspResult make_result(const WeightedCsrGraph& g, vertex_t source) {
+    SsspResult result;
+    result.distance.assign(g.num_vertices(), kInfiniteDistance);
+    result.parent.assign(g.num_vertices(), kInvalidVertex);
+    result.distance[source] = 0;
+    result.parent[source] = source;
+    return result;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const WeightedCsrGraph& g, vertex_t source) {
+    check_source(g, source);
+    WallTimer timer;
+    SsspResult result = make_result(g, source);
+
+    using Entry = std::pair<dist_t, vertex_t>;  // (tentative distance, vertex)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0, source);
+
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d != result.distance[u]) continue;  // stale (lazy deletion)
+        ++result.vertices_settled;
+
+        const auto adj = g.neighbors(u);
+        const auto w = g.weights(u);
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+            ++result.edges_relaxed;
+            const dist_t nd = d + w[i];
+            if (nd < result.distance[adj[i]]) {
+                result.distance[adj[i]] = nd;
+                result.parent[adj[i]] = u;
+                heap.emplace(nd, adj[i]);
+            }
+        }
+    }
+
+    result.seconds = timer.seconds();
+    return result;
+}
+
+SsspResult delta_stepping(const WeightedCsrGraph& g, vertex_t source,
+                          const DeltaSteppingOptions& options) {
+    check_source(g, source);
+    WallTimer timer;
+    SsspResult result = make_result(g, source);
+
+    weight_t delta = options.delta;
+    if (delta == 0) {
+        // Default: mean edge weight (at least 1).
+        std::uint64_t total = 0;
+        for (const weight_t w : g.all_weights()) total += w;
+        const std::uint64_t m = g.num_edges();
+        delta = m == 0 ? 1 : static_cast<weight_t>(std::max<std::uint64_t>(
+                                 1, total / std::max<std::uint64_t>(m, 1)));
+    }
+
+    // Buckets by floor(tentative distance / delta). Vertices are
+    // inserted eagerly on every improvement and filtered lazily on
+    // removal (their bucket index must still match), the standard
+    // simplification that avoids bucket deletion.
+    std::vector<std::vector<vertex_t>> buckets;
+    const auto bucket_of = [&](dist_t d) {
+        return static_cast<std::size_t>(d / delta);
+    };
+    const auto push_bucket = [&](vertex_t v, dist_t d) {
+        const std::size_t b = bucket_of(d);
+        if (buckets.size() <= b) buckets.resize(b + 1);
+        buckets[b].push_back(v);
+    };
+    push_bucket(source, 0);
+
+    const auto relax = [&](vertex_t v, dist_t nd, vertex_t via) {
+        if (nd >= result.distance[v]) return;
+        result.distance[v] = nd;
+        result.parent[v] = via;
+        push_bucket(v, nd);
+    };
+
+    std::vector<vertex_t> settled_this_bucket;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        settled_this_bucket.clear();
+        // Light phases: re-process the bucket until no vertex re-enters.
+        while (!buckets[i].empty()) {
+            std::vector<vertex_t> frontier;
+            frontier.swap(buckets[i]);
+            for (const vertex_t u : frontier) {
+                const dist_t du = result.distance[u];
+                if (du == kInfiniteDistance || bucket_of(du) != i)
+                    continue;  // moved to a lighter bucket or stale
+                settled_this_bucket.push_back(u);
+                const auto adj = g.neighbors(u);
+                const auto w = g.weights(u);
+                for (std::size_t e = 0; e < adj.size(); ++e) {
+                    if (w[e] > delta) continue;  // heavy: deferred
+                    ++result.edges_relaxed;
+                    relax(adj[e], du + w[e], u);
+                }
+            }
+        }
+        // Heavy phase: each settled vertex relaxes its heavy edges once.
+        for (const vertex_t u : settled_this_bucket) {
+            const dist_t du = result.distance[u];
+            if (bucket_of(du) != i) continue;  // improved by a later phase
+            const auto adj = g.neighbors(u);
+            const auto w = g.weights(u);
+            for (std::size_t e = 0; e < adj.size(); ++e) {
+                if (w[e] <= delta) continue;
+                ++result.edges_relaxed;
+                relax(adj[e], du + w[e], u);
+            }
+        }
+    }
+
+    // settled count: vertices with finite distance.
+    for (const dist_t d : result.distance)
+        if (d != kInfiniteDistance) ++result.vertices_settled;
+
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace sge

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/weighted.hpp"
+
+namespace sge {
+
+/// Shortest-path distance. 64-bit: paths can accumulate ~n * max_weight.
+using dist_t = std::uint64_t;
+inline constexpr dist_t kInfiniteDistance = std::numeric_limits<dist_t>::max();
+
+/// Output of a single-source shortest-path computation.
+struct SsspResult {
+    /// distance[v] = weight of the shortest s->v path (kInfiniteDistance
+    /// when unreachable).
+    std::vector<dist_t> distance;
+    /// Shortest-path tree; the source is its own parent.
+    std::vector<vertex_t> parent;
+    std::uint64_t vertices_settled = 0;
+    std::uint64_t edges_relaxed = 0;
+    double seconds = 0.0;
+};
+
+/// Textbook Dijkstra (binary heap, lazy deletion) — the uniform-cost
+/// search the paper's introduction lists among the BFS-derived searches
+/// ("best-first search, uniform-cost search, greedy-search and A*").
+/// The exact reference every other SSSP here is validated against.
+SsspResult dijkstra(const WeightedCsrGraph& g, vertex_t source);
+
+/// Delta-stepping (Meyer & Sanders) options.
+struct DeltaSteppingOptions {
+    /// Bucket width. 0 selects max(1, mean edge weight), the customary
+    /// starting point.
+    weight_t delta = 0;
+};
+
+/// Delta-stepping SSSP: vertices bucketed by tentative distance / delta;
+/// each bucket settles by repeated *light*-edge (w <= delta) relaxation
+/// phases, then relaxes heavy edges once. With delta = 1 and unit
+/// weights this degenerates to BFS; with delta = infinity to
+/// Bellman-Ford. The bucket phases are the natural parallel grain — the
+/// same level-synchronous shape as the paper's BFS.
+SsspResult delta_stepping(const WeightedCsrGraph& g, vertex_t source,
+                          const DeltaSteppingOptions& options = {});
+
+}  // namespace sge

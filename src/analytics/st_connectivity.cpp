@@ -1,0 +1,120 @@
+#include "analytics/st_connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/types.hpp"
+
+namespace sge {
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Reconstructs root -> v by chasing the parent chain, then reverses.
+std::vector<vertex_t> chain_to_root(const std::vector<vertex_t>& parent,
+                                    vertex_t v) {
+    std::vector<vertex_t> out;
+    for (vertex_t cur = v;; cur = parent[cur]) {
+        out.push_back(cur);
+        if (parent[cur] == cur) break;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace
+
+StResult st_connectivity(const CsrGraph& g, vertex_t s, vertex_t t) {
+    const vertex_t n = g.num_vertices();
+    if (s >= n || t >= n)
+        throw std::out_of_range("st_connectivity: endpoint out of range");
+
+    StResult result;
+    if (s == t) {
+        result.connected = true;
+        result.path = {s};
+        return result;
+    }
+
+    std::vector<std::uint32_t> dist_s(n, kInf);
+    std::vector<std::uint32_t> dist_t(n, kInf);
+    std::vector<vertex_t> parent_s(n, kInvalidVertex);
+    std::vector<vertex_t> parent_t(n, kInvalidVertex);
+
+    std::vector<vertex_t> frontier_s{s};
+    std::vector<vertex_t> frontier_t{t};
+    std::vector<vertex_t> next;
+    dist_s[s] = 0;
+    dist_t[t] = 0;
+    parent_s[s] = s;
+    parent_t[t] = t;
+    std::uint32_t depth_s = 0;  // completed levels from s
+    std::uint32_t depth_t = 0;
+
+    // Best meeting edge found so far: a path s ~> mu .. mv ~> t of
+    // length best_len.
+    std::uint32_t best_len = kInf;
+    vertex_t meet_u = kInvalidVertex;
+    vertex_t meet_v = kInvalidVertex;
+    bool meet_from_s = true;
+
+    // Standard bidirectional-BFS termination: once the completed search
+    // radii alone exceed the best candidate, no shorter path can appear
+    // (any unseen path is at least depth_s + depth_t + 1 long).
+    while (!frontier_s.empty() && !frontier_t.empty() &&
+           depth_s + depth_t + 1 < best_len) {
+        // Expand the cheaper side, measured by total adjacency size —
+        // frontier cardinality misleads on hub-heavy R-MAT graphs.
+        std::uint64_t work_s = 0;
+        std::uint64_t work_t = 0;
+        for (const vertex_t v : frontier_s) work_s += g.degree(v);
+        for (const vertex_t v : frontier_t) work_t += g.degree(v);
+        const bool from_s = work_s <= work_t;
+
+        auto& frontier = from_s ? frontier_s : frontier_t;
+        auto& dist = from_s ? dist_s : dist_t;
+        auto& other_dist = from_s ? dist_t : dist_s;
+        auto& parent = from_s ? parent_s : parent_t;
+        const std::uint32_t next_depth = (from_s ? depth_s : depth_t) + 1;
+
+        next.clear();
+        for (const vertex_t u : frontier) {
+            ++result.vertices_expanded;
+            for (const vertex_t v : g.neighbors(u)) {
+                if (other_dist[v] != kInf) {
+                    const std::uint32_t len = next_depth + other_dist[v];
+                    if (len < best_len) {
+                        best_len = len;
+                        meet_u = u;
+                        meet_v = v;
+                        meet_from_s = from_s;
+                    }
+                }
+                if (dist[v] != kInf) continue;
+                dist[v] = next_depth;
+                parent[v] = u;
+                next.push_back(v);
+            }
+        }
+        frontier.swap(next);
+        (from_s ? depth_s : depth_t) = next_depth;
+    }
+
+    if (best_len == kInf) return result;  // disconnected
+
+    // Stitch s ~> meet_u, edge (meet_u, meet_v), meet_v ~> t. When the
+    // meeting expansion ran from t, swap roles so the chains line up.
+    const vertex_t on_s_side = meet_from_s ? meet_u : meet_v;
+    const vertex_t on_t_side = meet_from_s ? meet_v : meet_u;
+    result.path = chain_to_root(parent_s, on_s_side);
+    auto tail = chain_to_root(parent_t, on_t_side);  // t .. on_t_side
+    for (auto it = tail.rbegin(); it != tail.rend(); ++it)
+        result.path.push_back(*it);
+    result.connected = true;
+    result.distance = best_len;
+    return result;
+}
+
+}  // namespace sge

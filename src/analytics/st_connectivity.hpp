@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// Result of an s-t connectivity query.
+struct StResult {
+    bool connected = false;
+    /// Hop distance from s to t when connected.
+    std::uint32_t distance = 0;
+    /// A shortest path s ... t (inclusive) when connected.
+    std::vector<vertex_t> path;
+    /// Vertices the search expanded (for benchmarking search effort).
+    std::uint64_t vertices_expanded = 0;
+};
+
+/// Bidirectional BFS s-t connectivity on a symmetric graph — the
+/// companion problem of Bader & Madduri's MTA-2 study [16] that the
+/// paper benchmarks against. Expanding the smaller frontier from both
+/// ends visits O(sqrt) of what a full single-source BFS touches on
+/// random graphs.
+StResult st_connectivity(const CsrGraph& g, vertex_t s, vertex_t t);
+
+}  // namespace sge

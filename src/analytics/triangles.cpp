@@ -1,0 +1,85 @@
+#include "analytics/triangles.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "concurrency/thread_team.hpp"
+
+namespace sge {
+
+double TriangleCounts::global_clustering(const CsrGraph& g) const {
+    // Open wedges centred at v: deg(v) choose 2.
+    double wedges = 0.0;
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        const double d = static_cast<double>(g.degree(v));
+        wedges += d * (d - 1.0) / 2.0;
+    }
+    return wedges == 0.0 ? 0.0 : 3.0 * static_cast<double>(total) / wedges;
+}
+
+TriangleCounts count_triangles(const CsrGraph& g, const TriangleOptions& options) {
+    const vertex_t n = g.num_vertices();
+    TriangleCounts counts;
+    counts.per_vertex.assign(n, 0);
+    if (n == 0) return counts;
+
+    const int threads = std::max(1, options.threads);
+    ThreadTeam team(threads,
+                    options.topology ? *options.topology : Topology::detect());
+
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::size_t> cursor{0};
+    constexpr std::size_t kChunk = 64;
+
+    // per_vertex updates go through atomic_ref: triangle (u, v, w) is
+    // found exactly once (u < v < w) but credits three vertices, two of
+    // which another worker may own.
+    std::uint64_t* const per_vertex = counts.per_vertex.data();
+
+    team.run([&](int) {
+        std::uint64_t local_total = 0;
+        for (;;) {
+            const std::size_t base =
+                cursor.fetch_add(kChunk, std::memory_order_relaxed);
+            if (base >= n) break;
+            const std::size_t stop = std::min<std::size_t>(base + kChunk, n);
+            for (std::size_t ui = base; ui < stop; ++ui) {
+                const auto u = static_cast<vertex_t>(ui);
+                const auto adj_u = g.neighbors(u);
+                for (const vertex_t v : adj_u) {
+                    if (v <= u) continue;  // orient: u < v
+                    const auto adj_v = g.neighbors(v);
+                    // Merge-intersect the suffixes > v of both lists.
+                    auto iu = std::lower_bound(adj_u.begin(), adj_u.end(),
+                                               v + 1);
+                    auto iv = std::lower_bound(adj_v.begin(), adj_v.end(),
+                                               v + 1);
+                    while (iu != adj_u.end() && iv != adj_v.end()) {
+                        if (*iu < *iv) {
+                            ++iu;
+                        } else if (*iv < *iu) {
+                            ++iv;
+                        } else {
+                            const vertex_t w = *iu;
+                            ++local_total;
+                            std::atomic_ref<std::uint64_t>(per_vertex[u])
+                                .fetch_add(1, std::memory_order_relaxed);
+                            std::atomic_ref<std::uint64_t>(per_vertex[v])
+                                .fetch_add(1, std::memory_order_relaxed);
+                            std::atomic_ref<std::uint64_t>(per_vertex[w])
+                                .fetch_add(1, std::memory_order_relaxed);
+                            ++iu;
+                            ++iv;
+                        }
+                    }
+                }
+            }
+        }
+        total.fetch_add(local_total, std::memory_order_relaxed);
+    });
+
+    counts.total = total.load(std::memory_order_relaxed);
+    return counts;
+}
+
+}  // namespace sge

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// Triangle census of a simple symmetric graph (builder defaults:
+/// deduplicated, no self-loops, sorted adjacencies).
+struct TriangleCounts {
+    /// Total triangles in the graph (each counted once).
+    std::uint64_t total = 0;
+    /// per_vertex[v] = triangles incident on v.
+    std::vector<std::uint64_t> per_vertex;
+
+    /// Global clustering coefficient: 3 * triangles / open wedges.
+    [[nodiscard]] double global_clustering(const CsrGraph& g) const;
+};
+
+struct TriangleOptions {
+    int threads = 1;
+    std::optional<Topology> topology;
+};
+
+/// Merge-based node-iterator triangle counting: for each edge (u, v)
+/// with u < v, intersect the sorted adjacencies and attribute each
+/// common neighbour w > v once. O(sum over edges of min(deg u, deg v));
+/// parallel over vertices. The SSCA#2/GraphChallenge-style kernel that
+/// complements BFS on the paper's community-analysis workloads.
+TriangleCounts count_triangles(const CsrGraph& g,
+                               const TriangleOptions& options = {});
+
+}  // namespace sge

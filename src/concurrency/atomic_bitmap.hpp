@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/aligned_buffer.hpp"
+
+namespace sge {
+
+/// Concurrent visited-set bitmap — the paper's first key optimization
+/// (Algorithm 2). One bit per vertex shrinks the randomly-accessed
+/// working set 32x versus querying the parent array directly: 4 MB
+/// covers a 32 M-vertex graph, which Figure 2 shows is worth ≥4x in raw
+/// random-read rate because the set fits in cache levels that the parent
+/// array overflows.
+///
+/// The double-checked protocol the BFS engines use:
+///   if (!bitmap.test(v))              // plain load, no bus lock
+///       if (!bitmap.test_and_set(v))  // lock or — only when promising
+///           ... first visitor wins ...
+/// Figure 4 quantifies the payoff: in late BFS levels almost every
+/// neighbour is already visited, so the cheap test filters out nearly
+/// all `lock or` instructions, which Figure 3 shows do not scale across
+/// sockets.
+class AtomicBitmap {
+  public:
+    AtomicBitmap() = default;
+
+    /// Creates a bitmap of `bits` zeroed bits.
+    explicit AtomicBitmap(std::size_t bits)
+        : bits_(bits), words_((bits + kBitsPerWord - 1) / kBitsPerWord) {
+        clear_all();
+    }
+
+    AtomicBitmap(AtomicBitmap&&) noexcept = default;
+    AtomicBitmap& operator=(AtomicBitmap&&) noexcept = default;
+
+    /// Non-atomic-RMW test: a single acquire load. May race with a
+    /// concurrent set — callers must treat `false` as "maybe unvisited"
+    /// and confirm with test_and_set.
+    [[nodiscard]] bool test(std::size_t i) const noexcept {
+        return (words_[i / kBitsPerWord].load(std::memory_order_acquire) &
+                bit(i)) != 0;
+    }
+
+    /// Atomically sets bit `i`; returns its previous value. This is the
+    /// paper's LockedReadSet (__sync_or_and_fetch in their
+    /// implementation), i.e. one `lock or` instruction.
+    bool test_and_set(std::size_t i) noexcept {
+        const std::uint64_t prev = words_[i / kBitsPerWord].fetch_or(
+            bit(i), std::memory_order_acq_rel);
+        return (prev & bit(i)) != 0;
+    }
+
+    /// Zeroes every bit. Not thread-safe against concurrent writers.
+    void clear_all() noexcept {
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            words_[w].store(0, std::memory_order_relaxed);
+    }
+
+    /// Population count; not thread-safe against concurrent writers.
+    [[nodiscard]] std::size_t count() const noexcept {
+        std::size_t total = 0;
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            total += static_cast<std::size_t>(__builtin_popcountll(
+                words_[w].load(std::memory_order_relaxed)));
+        return total;
+    }
+
+    [[nodiscard]] std::size_t size_bits() const noexcept { return bits_; }
+    [[nodiscard]] std::size_t size_bytes() const noexcept {
+        return words_.size() * sizeof(std::uint64_t);
+    }
+
+  private:
+    static constexpr std::size_t kBitsPerWord = 64;
+    static constexpr std::uint64_t bit(std::size_t i) noexcept {
+        return 1ULL << (i % kBitsPerWord);
+    }
+
+    std::size_t bits_ = 0;
+    AlignedBuffer<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace sge

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "concurrency/ticket_lock.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace sge {
+
+/// Centralized sense-reversing barrier for the level-synchronous BFS
+/// ("Synchronize" in Algorithms 2 and 3).
+///
+/// A generation counter doubles as the sense: arrivals decrement a
+/// count, the last arrival resets it and bumps the generation, everyone
+/// else spins until the generation moves. The spin is bounded and falls
+/// back to yield because emulated topologies oversubscribe the physical
+/// CPUs (64 workers on this container's single core must not spin-wait
+/// on each other).
+class SpinBarrier {
+  public:
+    explicit SpinBarrier(int parties) noexcept
+        : parties_(parties) {
+        count_->store(parties, std::memory_order_relaxed);
+    }
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    void arrive_and_wait() noexcept {
+        const std::uint64_t gen = generation_->load(std::memory_order_acquire);
+        if (count_->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            count_->store(parties_, std::memory_order_relaxed);
+            generation_->fetch_add(1, std::memory_order_release);
+            return;
+        }
+        int spins = 0;
+        while (generation_->load(std::memory_order_acquire) == gen) {
+            if (++spins < kSpinLimit) {
+                TicketLock::cpu_pause();
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    [[nodiscard]] int parties() const noexcept { return parties_; }
+
+  private:
+    static constexpr int kSpinLimit = 128;
+    const int parties_;
+    CachePadded<std::atomic<int>> count_{};
+    CachePadded<std::atomic<std::uint64_t>> generation_{};
+};
+
+}  // namespace sge

@@ -1,0 +1,64 @@
+#include "concurrency/thread_team.hpp"
+
+#include <algorithm>
+
+#include "runtime/affinity.hpp"
+
+namespace sge {
+
+ThreadTeam::ThreadTeam(int threads, Topology topo) : topo_(std::move(topo)) {
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+        workers_.emplace_back([this, t] { worker_main(t); });
+}
+
+ThreadTeam::~ThreadTeam() {
+    {
+        std::lock_guard guard(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+    std::unique_lock lock(mutex_);
+    job_ = &fn;
+    remaining_ = size();
+    first_error_ = nullptr;
+    ++epoch_;
+    start_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadTeam::worker_main(int tid) {
+    pin_current_thread(topo_.cpu_of_thread(tid));
+
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        const std::function<void(int)>* job = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+            if (shutdown_) return;
+            seen_epoch = epoch_;
+            job = job_;
+        }
+        std::exception_ptr error;
+        try {
+            (*job)(tid);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard guard(mutex_);
+            if (error && !first_error_) first_error_ = error;
+            if (--remaining_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+}  // namespace sge

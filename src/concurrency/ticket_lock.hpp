@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/cacheline.hpp"
+
+namespace sge {
+
+/// Ticket lock (Mellor-Crummey/Scott style), the paper's choice for
+/// guarding each side of the inter-socket FastForward channels
+/// ([22] Sridharan et al., SPAA'07). FIFO-fair: contending threads are
+/// served in arrival order, which matters when whole sockets of workers
+/// flush batches into the same channel — an unfair lock would let one
+/// producer starve the rest and serialize the level step.
+///
+/// `next_` and `serving_` live on separate cache lines so the enqueue
+/// (fetch_add on next_) does not invalidate the line spinners poll.
+class TicketLock {
+  public:
+    TicketLock() = default;
+    TicketLock(const TicketLock&) = delete;
+    TicketLock& operator=(const TicketLock&) = delete;
+
+    void lock() noexcept {
+        const std::uint32_t my = next_->fetch_add(1, std::memory_order_acq_rel);
+        int spins = 0;
+        while (serving_->load(std::memory_order_acquire) != my) {
+            // Bounded spin, then yield: this library routinely runs more
+            // workers than CPUs (emulated topologies), where pure
+            // spinning would deadlock the oversubscribed scheduler.
+            if (++spins < kSpinLimit) {
+                cpu_pause();
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    bool try_lock() noexcept {
+        std::uint32_t ticket = serving_->load(std::memory_order_acquire);
+        return next_->compare_exchange_strong(ticket, ticket + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed);
+    }
+
+    void unlock() noexcept {
+        // Only the holder writes serving_, so a plain add-release works.
+        serving_->store(serving_->load(std::memory_order_relaxed) + 1,
+                        std::memory_order_release);
+    }
+
+    static void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+
+  private:
+    static constexpr int kSpinLimit = 64;
+    CachePadded<std::atomic<std::uint32_t>> next_{};
+    CachePadded<std::atomic<std::uint32_t>> serving_{};
+};
+
+}  // namespace sge

@@ -1,0 +1,90 @@
+#include "core/bfs.hpp"
+
+#include <stdexcept>
+
+#include "core/engine_common.hpp"
+
+namespace sge {
+
+std::string to_string(BfsEngine engine) {
+    switch (engine) {
+        case BfsEngine::kSerial: return "serial";
+        case BfsEngine::kNaive: return "naive";
+        case BfsEngine::kBitmap: return "bitmap";
+        case BfsEngine::kMultiSocket: return "multisocket";
+        case BfsEngine::kHybrid: return "hybrid";
+        case BfsEngine::kAuto: return "auto";
+    }
+    return "unknown";
+}
+
+namespace {
+
+Topology resolve_topology(const BfsOptions& options) {
+    return options.topology ? *options.topology : Topology::detect();
+}
+
+int resolve_threads(const BfsOptions& options, const Topology& topo) {
+    if (options.threads < 0)
+        throw std::invalid_argument("BfsOptions::threads must be >= 0");
+    if (options.threads == 0) return topo.max_threads();
+    return options.threads;
+}
+
+BfsEngine resolve_engine(const BfsOptions& options, const Topology& topo,
+                         int threads) {
+    if (options.engine != BfsEngine::kAuto) return options.engine;
+    if (threads <= 1) return BfsEngine::kSerial;
+    // The paper disables the inter-socket machinery when all workers fit
+    // on one socket ("when the threads run on the same socket, we
+    // disable inter-socket channels to get the highest performance").
+    if (topo.sockets_used(threads) <= 1) return BfsEngine::kBitmap;
+    return BfsEngine::kMultiSocket;
+}
+
+}  // namespace
+
+BfsRunner::BfsRunner(BfsOptions options)
+    : options_(std::move(options)), topology_(resolve_topology(options_)) {
+    const int threads = resolve_threads(options_, topology_);
+    if (resolve_engine(options_, topology_, threads) != BfsEngine::kSerial)
+        team_ = std::make_unique<ThreadTeam>(threads, topology_);
+}
+
+BfsRunner::~BfsRunner() = default;
+BfsRunner::BfsRunner(BfsRunner&&) noexcept = default;
+BfsRunner& BfsRunner::operator=(BfsRunner&&) noexcept = default;
+
+BfsEngine BfsRunner::resolved_engine() const noexcept {
+    return resolve_engine(options_, topology_,
+                          resolve_threads(options_, topology_));
+}
+
+int BfsRunner::threads() const noexcept {
+    return team_ ? team_->size() : 1;
+}
+
+BfsResult BfsRunner::run(const CsrGraph& g, vertex_t root) {
+    switch (resolved_engine()) {
+        case BfsEngine::kSerial:
+            return detail::bfs_serial(g, root, options_);
+        case BfsEngine::kNaive:
+            return detail::bfs_naive(g, root, options_, *team_);
+        case BfsEngine::kBitmap:
+            return detail::bfs_bitmap(g, root, options_, *team_);
+        case BfsEngine::kMultiSocket:
+            return detail::bfs_multisocket(g, root, options_, *team_);
+        case BfsEngine::kHybrid:
+            return detail::bfs_hybrid(g, root, options_, *team_);
+        case BfsEngine::kAuto:
+            break;  // resolved_engine never returns kAuto
+    }
+    throw std::logic_error("BfsRunner: unresolved engine");
+}
+
+BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options) {
+    BfsRunner runner(options);
+    return runner.run(g, root);
+}
+
+}  // namespace sge

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "concurrency/thread_team.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// Which BFS implementation to run.
+enum class BfsEngine {
+    kSerial,       ///< textbook two-queue BFS, the sequential reference
+    kNaive,        ///< Algorithm 1: shared queues, CAS on the parent array
+    kBitmap,       ///< Algorithm 2: visited bitmap + double-checked atomics
+    kMultiSocket,  ///< Algorithm 3: per-socket queues + inter-socket channels
+    kHybrid,       ///< extension: direction-optimizing (top-down/bottom-up)
+    kAuto,         ///< pick by thread count / sockets engaged
+};
+
+[[nodiscard]] std::string to_string(BfsEngine engine);
+
+/// Tuning and instrumentation knobs. Defaults reproduce the paper's
+/// most-optimized configuration.
+struct BfsOptions {
+    BfsEngine engine = BfsEngine::kAuto;
+
+    /// Worker threads; 0 means "all threads of the topology".
+    int threads = 0;
+
+    /// Socket/core model; defaults to Topology::detect(). Use
+    /// Topology::nehalem_ep()/nehalem_ex() to reproduce the paper's
+    /// machines on any host (emulated placement, see DESIGN.md).
+    std::optional<Topology> topology;
+
+    /// Vertices per inter-socket channel batch (Algorithm 3's batching
+    /// optimization: amortizes the ticket-lock acquisition).
+    std::size_t batch_size = 64;
+
+    /// Vertices a worker claims from the current queue at a time.
+    std::size_t chunk_size = 128;
+
+    /// FastForward ring capacity per inter-socket channel (entries).
+    std::size_t channel_capacity = 1 << 15;
+
+    /// Fill BfsResult::level (hop distance per vertex).
+    bool compute_levels = true;
+
+    /// Collect per-level counters (frontier sizes, bitmap checks,
+    /// atomic ops, remote tuples) into BfsResult::level_stats.
+    bool collect_stats = false;
+
+    /// Algorithm 2's cheap-test-before-atomic optimization. Disabling it
+    /// makes every visited check a `lock or` — the Figure 4/5 ablation.
+    bool bitmap_double_check = true;
+
+    /// Algorithm 3 ablation: also consult the (possibly remote) bitmap
+    /// before shipping a tuple through a channel. The paper does NOT do
+    /// this — the bit lives on the owner socket and reading it remotely
+    /// is exactly the coherence traffic the channels exist to avoid —
+    /// but on low-latency hosts the filter can win by shrinking channel
+    /// traffic. Measured in bench/ablation_tuning.
+    bool remote_sender_filter = false;
+
+    /// kHybrid: switch top-down -> bottom-up when the frontier's
+    /// unexplored out-edges exceed (remaining edges)/alpha, and back
+    /// when the frontier shrinks below vertices/beta. Beamer et al.'s
+    /// defaults.
+    double hybrid_alpha = 14.0;
+    double hybrid_beta = 24.0;
+};
+
+/// Per-level instrumentation (Figure 4 reproduces from this).
+struct BfsLevelStats {
+    std::uint64_t frontier_size = 0;   ///< vertices expanded this level
+    std::uint64_t edges_scanned = 0;   ///< adjacency entries examined
+    std::uint64_t bitmap_checks = 0;   ///< plain bitmap/parent queries
+    std::uint64_t atomic_ops = 0;      ///< locked RMW instructions issued
+    std::uint64_t remote_tuples = 0;   ///< (v,u) pairs shipped via channels
+    double seconds = 0.0;              ///< wall time of this level
+};
+
+/// Output of one BFS run.
+struct BfsResult {
+    /// parent[v] is v's BFS-tree parent; the root is its own parent;
+    /// kInvalidVertex marks unreached vertices.
+    std::vector<vertex_t> parent;
+
+    /// Hop distance from the root (kInvalidLevel when unreached);
+    /// empty when !BfsOptions::compute_levels.
+    std::vector<level_t> level;
+
+    std::uint64_t vertices_visited = 0;
+
+    /// ma in the paper: adjacency entries actually scanned. Processing
+    /// rate = ma / seconds.
+    std::uint64_t edges_traversed = 0;
+
+    std::uint32_t num_levels = 0;
+    double seconds = 0.0;
+
+    /// Filled when BfsOptions::collect_stats.
+    std::vector<BfsLevelStats> level_stats;
+
+    [[nodiscard]] double edges_per_second() const noexcept {
+        return seconds > 0 ? static_cast<double>(edges_traversed) / seconds : 0.0;
+    }
+};
+
+/// Reusable BFS executor: owns the worker team so repeated traversals
+/// (benchmarks, connected components, multi-root analytics) do not pay
+/// thread creation per run.
+class BfsRunner {
+  public:
+    explicit BfsRunner(BfsOptions options = {});
+    ~BfsRunner();
+
+    BfsRunner(BfsRunner&&) noexcept;
+    BfsRunner& operator=(BfsRunner&&) noexcept;
+
+    /// Runs a BFS from `root`. Throws std::out_of_range for an invalid
+    /// root or std::invalid_argument for inconsistent options.
+    BfsResult run(const CsrGraph& g, vertex_t root);
+
+    [[nodiscard]] const BfsOptions& options() const noexcept { return options_; }
+
+    /// Engine actually selected (kAuto resolved) for `g`-independent
+    /// options; what run() will dispatch to.
+    [[nodiscard]] BfsEngine resolved_engine() const noexcept;
+
+    [[nodiscard]] int threads() const noexcept;
+    [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+  private:
+    BfsOptions options_;
+    Topology topology_;
+    std::unique_ptr<ThreadTeam> team_;  // null for serial-only runners
+};
+
+/// One-shot convenience wrapper around BfsRunner.
+BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options = {});
+
+namespace detail {
+
+// Engine entry points (exposed for tests; use BfsRunner in user code).
+BfsResult bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options);
+BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                    ThreadTeam& team);
+BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                     ThreadTeam& team);
+BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
+                          const BfsOptions& options, ThreadTeam& team);
+BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                     ThreadTeam& team);
+
+}  // namespace detail
+
+}  // namespace sge

@@ -1,0 +1,127 @@
+#include <atomic>
+
+#include "concurrency/spin_barrier.hpp"
+#include "core/engine_common.hpp"
+#include "core/frontier.hpp"
+#include "runtime/timer.hpp"
+
+namespace sge::detail {
+
+/// Algorithm 1: the high-level parallel BFS before any of the paper's
+/// optimizations. One shared current/next queue pair; the visited check
+/// is an unconditional atomic on the parent array (the listing's lines
+/// 10-12 "must be executed atomically"); vertices are dequeued and
+/// enqueued one at a time (LockedDequeue/LockedEnqueue). This is the
+/// baseline curve of Figure 5.
+BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                    ThreadTeam& team) {
+    check_root(g, root);
+    const vertex_t n = g.num_vertices();
+    const int threads = team.size();
+
+    BfsResult result;
+    result.parent.resize(n);
+    if (options.compute_levels) result.level.resize(n);
+
+    FrontierQueue queues[2] = {FrontierQueue(n), FrontierQueue(n)};
+    SpinBarrier barrier(threads);
+
+    struct Shared {
+        std::atomic<std::uint64_t> visited{0};
+        std::atomic<std::uint64_t> edges{0};
+        int current = 0;   // queue index; written by tid 0 between barriers
+        bool done = false; // written by tid 0 between barriers
+        std::uint32_t levels_run = 0;
+    } shared;
+
+    std::vector<LevelAccum> stats;
+    stats.emplace_back();
+    stats[0].frontier_size = 1;
+
+    vertex_t* const parent = result.parent.data();
+    level_t* const level = options.compute_levels ? result.level.data() : nullptr;
+
+    WallTimer timer;
+    team.run([&](int tid) {
+        // Parallel init: each worker owns an equal slice of the arrays.
+        const auto [init_begin, init_end] = split_range(n, threads, tid);
+        for (std::size_t v = init_begin; v < init_end; ++v) {
+            parent[v] = kInvalidVertex;
+            if (level != nullptr) level[v] = kInvalidLevel;
+        }
+        barrier.arrive_and_wait();
+
+        if (tid == 0) {
+            parent[root] = root;
+            if (level != nullptr) level[root] = 0;
+            queues[0].push_one(root);
+            shared.visited.fetch_add(1, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait();
+
+        level_t depth = 0;
+        std::uint64_t total_edges = 0;
+        std::uint64_t discovered = 0;
+        WallTimer level_timer;  // tid 0 stamps per-level wall time
+        for (;;) {
+            const int cur = shared.current;
+            FrontierQueue& cq = queues[cur];
+            FrontierQueue& nq = queues[1 - cur];
+            ThreadCounters counters;
+
+            std::size_t begin = 0;
+            std::size_t end = 0;
+            // chunk == 1: the unbatched LockedDequeue of Algorithm 1.
+            while (cq.next_chunk(1, begin, end)) {
+                const vertex_t u = cq[begin];
+                const auto adj = g.neighbors(u);
+                counters.edges_scanned += adj.size();
+                for (const vertex_t v : adj) {
+                    // Unconditional atomic claim: P[v] == INF -> u.
+                    ++counters.bitmap_checks;
+                    ++counters.atomic_ops;
+                    std::atomic_ref<vertex_t> pv(parent[v]);
+                    vertex_t expected = kInvalidVertex;
+                    if (pv.compare_exchange_strong(expected, u,
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_relaxed)) {
+                        if (level != nullptr) level[v] = depth + 1;
+                        nq.push_one(v);
+                        ++discovered;
+                    }
+                }
+            }
+            total_edges += counters.edges_scanned;
+            counters.flush_into(stats[depth]);
+            barrier.arrive_and_wait();
+
+            if (tid == 0) {
+                stats[depth].seconds = level_timer.seconds();
+                level_timer.reset();
+                cq.reset();
+                shared.current = 1 - cur;
+                shared.done = nq.size() == 0;
+                ++shared.levels_run;
+                if (!shared.done) {
+                    stats.emplace_back();
+                    stats[depth + 1].frontier_size = nq.size();
+                }
+            }
+            barrier.arrive_and_wait();
+            if (shared.done) break;
+            ++depth;
+        }
+
+        shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
+        shared.visited.fetch_add(discovered, std::memory_order_relaxed);
+    });
+    result.seconds = timer.seconds();
+
+    result.vertices_visited = shared.visited.load(std::memory_order_relaxed);
+    result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
+    result.num_levels = shared.levels_run;
+    if (options.collect_stats) copy_level_stats(result, stats, shared.levels_run);
+    return result;
+}
+
+}  // namespace sge::detail

@@ -1,0 +1,59 @@
+#include "core/engine_common.hpp"
+#include "runtime/timer.hpp"
+
+namespace sge::detail {
+
+/// Sequential reference BFS: two std::vector queues, no atomics. This is
+/// the "best sequential implementation" every parallel-BFS paper must
+/// beat (Section I cites Bader/Cong/Feo [3] on how rarely that happens),
+/// and the oracle the validator compares reachability against.
+BfsResult bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options) {
+    check_root(g, root);
+    const vertex_t n = g.num_vertices();
+
+    BfsResult result;
+    WallTimer timer;
+
+    result.parent.assign(n, kInvalidVertex);
+    if (options.compute_levels) result.level.assign(n, kInvalidLevel);
+
+    std::vector<vertex_t> current;
+    std::vector<vertex_t> next;
+    current.push_back(root);
+    result.parent[root] = root;
+    if (options.compute_levels) result.level[root] = 0;
+    result.vertices_visited = 1;
+
+    level_t depth = 0;
+    WallTimer level_timer;
+    while (!current.empty()) {
+        BfsLevelStats stats;
+        stats.frontier_size = current.size();
+        level_timer.reset();
+        for (const vertex_t u : current) {
+            const auto adj = g.neighbors(u);
+            result.edges_traversed += adj.size();
+            stats.edges_scanned += adj.size();
+            for (const vertex_t v : adj) {
+                ++stats.bitmap_checks;
+                if (result.parent[v] == kInvalidVertex) {
+                    result.parent[v] = u;
+                    if (options.compute_levels) result.level[v] = depth + 1;
+                    next.push_back(v);
+                    ++result.vertices_visited;
+                }
+            }
+        }
+        stats.seconds = level_timer.seconds();
+        if (options.collect_stats) result.level_stats.push_back(stats);
+        ++depth;
+        current.swap(next);
+        next.clear();
+    }
+
+    result.num_levels = depth;
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace sge::detail

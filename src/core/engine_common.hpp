@@ -1,0 +1,91 @@
+#pragma once
+
+// Internal shared machinery for the BFS engines. Not part of the public
+// API surface; include only from src/core/*.cpp and tests.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bfs.hpp"
+
+namespace sge::detail {
+
+/// Shared per-level accumulation slot. Workers fetch_add their local
+/// counters into it once per level; the engine copies the totals into
+/// BfsResult::level_stats after the run.
+struct LevelAccum {
+    std::uint64_t frontier_size = 0;  // written by thread 0 only
+    double seconds = 0.0;             // written by thread 0 only
+    std::atomic<std::uint64_t> edges_scanned{0};
+    std::atomic<std::uint64_t> bitmap_checks{0};
+    std::atomic<std::uint64_t> atomic_ops{0};
+    std::atomic<std::uint64_t> remote_tuples{0};
+
+    LevelAccum() = default;
+    // Copyable so a std::vector of slots can grow. Growth happens only
+    // on thread 0 between barriers, when no worker touches the slots.
+    LevelAccum(const LevelAccum& o)
+        : frontier_size(o.frontier_size),
+          seconds(o.seconds),
+          edges_scanned(o.edges_scanned.load(std::memory_order_relaxed)),
+          bitmap_checks(o.bitmap_checks.load(std::memory_order_relaxed)),
+          atomic_ops(o.atomic_ops.load(std::memory_order_relaxed)),
+          remote_tuples(o.remote_tuples.load(std::memory_order_relaxed)) {}
+    LevelAccum& operator=(const LevelAccum&) = delete;
+};
+
+/// Worker-local counters, flushed into a LevelAccum once per level so
+/// the hot loop touches no shared cache lines.
+struct ThreadCounters {
+    std::uint64_t edges_scanned = 0;
+    std::uint64_t bitmap_checks = 0;
+    std::uint64_t atomic_ops = 0;
+    std::uint64_t remote_tuples = 0;
+
+    void flush_into(LevelAccum& slot) noexcept {
+        slot.edges_scanned.fetch_add(edges_scanned, std::memory_order_relaxed);
+        slot.bitmap_checks.fetch_add(bitmap_checks, std::memory_order_relaxed);
+        slot.atomic_ops.fetch_add(atomic_ops, std::memory_order_relaxed);
+        slot.remote_tuples.fetch_add(remote_tuples, std::memory_order_relaxed);
+        *this = ThreadCounters{};
+    }
+};
+
+inline void check_root(const CsrGraph& g, vertex_t root) {
+    if (root >= g.num_vertices())
+        throw std::out_of_range("bfs: root vertex out of range");
+}
+
+/// Copies accumulated per-level slots into the result (dropping the
+/// trailing slot engines pre-create for a level that never ran).
+inline void copy_level_stats(BfsResult& result,
+                             const std::vector<LevelAccum>& slots,
+                             std::uint32_t levels_run) {
+    result.level_stats.reserve(levels_run);
+    for (std::uint32_t d = 0; d < levels_run && d < slots.size(); ++d) {
+        const LevelAccum& a = slots[d];
+        result.level_stats.push_back(BfsLevelStats{
+            a.frontier_size,
+            a.edges_scanned.load(std::memory_order_relaxed),
+            a.bitmap_checks.load(std::memory_order_relaxed),
+            a.atomic_ops.load(std::memory_order_relaxed),
+            a.remote_tuples.load(std::memory_order_relaxed),
+            a.seconds,
+        });
+    }
+}
+
+/// Splits [0, n) into `parts` near-equal chunks; returns chunk `index`.
+inline std::pair<std::size_t, std::size_t> split_range(std::size_t n, int parts,
+                                                       int index) noexcept {
+    const std::size_t base = n / static_cast<std::size_t>(parts);
+    const std::size_t extra = n % static_cast<std::size_t>(parts);
+    const auto i = static_cast<std::size_t>(index);
+    const std::size_t begin = i * base + (i < extra ? i : extra);
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+}  // namespace sge::detail

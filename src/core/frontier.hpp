@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+
+#include "graph/types.hpp"
+#include "runtime/aligned_buffer.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace sge {
+
+/// Level frontier: a flat vertex array with two atomic cursors.
+///
+/// This is the modern realization of the paper's LockedEnqueue /
+/// LockedDequeue queues: producers *reserve* a contiguous slice with one
+/// fetch_add and memcpy their batch in (the batching optimization of
+/// Section III applied to the local queues); consumers *claim* scan
+/// chunks with one fetch_add. Because every vertex enters a frontier at
+/// most once per BFS (the bitmap guarantees it), capacity == n always
+/// suffices and the array never reallocates mid-level.
+class FrontierQueue {
+  public:
+    FrontierQueue() = default;
+
+    explicit FrontierQueue(std::size_t capacity) : slots_(capacity) {
+        push_->store(0, std::memory_order_relaxed);
+        scan_->store(0, std::memory_order_relaxed);
+    }
+
+    // Movable so engines can build std::vector<FrontierQueue> per
+    // socket; moves must be externally synchronised (setup time only) —
+    // the atomic cursors transfer by value.
+    FrontierQueue(FrontierQueue&& other) noexcept
+        : slots_(std::move(other.slots_)) {
+        push_->store(other.push_->load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        scan_->store(other.scan_->load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    FrontierQueue& operator=(FrontierQueue&& other) noexcept {
+        slots_ = std::move(other.slots_);
+        push_->store(other.push_->load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        scan_->store(other.scan_->load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
+
+    /// Producer: appends `count` vertices. Safe from any thread.
+    void push_batch(const vertex_t* items, std::size_t count) noexcept {
+        const std::size_t base = push_->fetch_add(count, std::memory_order_acq_rel);
+        std::memcpy(slots_.data() + base, items, count * sizeof(vertex_t));
+    }
+
+    /// Producer: appends one vertex (the unbatched path of Algorithm 1).
+    void push_one(vertex_t v) noexcept { push_batch(&v, 1); }
+
+    /// Consumer: claims the next scan chunk of up to `chunk` vertices.
+    /// Returns false when the queue is exhausted. Safe from any thread,
+    /// but only meaningful once producers for this level are done
+    /// (level-synchronous usage) or for work that was fully enqueued
+    /// before scanning begins (how the BFS uses the current queue).
+    bool next_chunk(std::size_t chunk, std::size_t& begin, std::size_t& end) noexcept {
+        const std::size_t limit = push_->load(std::memory_order_acquire);
+        // Cheap pre-check so an exhausted queue does not keep advancing
+        // the cursor (keeps reset-free reuse sane and saves the RMW in
+        // the common "drained" case). Racing scanners may still each
+        // overshoot by one fetch_add, which reset() rewinds.
+        if (scan_->load(std::memory_order_relaxed) >= limit) return false;
+        const std::size_t base = scan_->fetch_add(chunk, std::memory_order_acq_rel);
+        if (base >= limit) return false;
+        begin = base;
+        end = base + chunk < limit ? base + chunk : limit;
+        return true;
+    }
+
+    [[nodiscard]] const vertex_t* data() const noexcept { return slots_.data(); }
+    [[nodiscard]] vertex_t operator[](std::size_t i) const noexcept {
+        return slots_[i];
+    }
+
+    /// Number of vertices enqueued. Exact once producers are quiescent.
+    [[nodiscard]] std::size_t size() const noexcept {
+        return push_->load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+    /// Empties the queue and rewinds the scan cursor for the next level.
+    /// Not thread-safe; call between barriers.
+    void reset() noexcept {
+        push_->store(0, std::memory_order_relaxed);
+        scan_->store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    AlignedBuffer<vertex_t> slots_;
+    CachePadded<std::atomic<std::size_t>> push_{};
+    CachePadded<std::atomic<std::size_t>> scan_{};
+};
+
+/// Local staging buffer a worker fills before paying one atomic
+/// reservation (FrontierQueue) or one lock acquisition (Channel) — the
+/// batching optimization of Section III. Capacity is a runtime knob
+/// (BfsOptions::batch_size).
+template <typename T>
+class LocalBatch {
+  public:
+    explicit LocalBatch(std::size_t capacity)
+        : items_(capacity < 1 ? 1 : capacity) {}
+
+    /// Appends one item; returns true when the buffer just became full
+    /// and must be flushed. Pushing into a full buffer is a bug in the
+    /// caller (always flush on `true`).
+    bool push(T v) noexcept {
+        items_[size_++] = v;
+        return size_ == items_.size();
+    }
+
+    [[nodiscard]] const T* data() const noexcept { return items_.data(); }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    void clear() noexcept { size_ = 0; }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return items_.size(); }
+
+  private:
+    AlignedBuffer<T> items_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace sge

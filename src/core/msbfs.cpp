@@ -1,0 +1,124 @@
+#include "core/msbfs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "concurrency/spin_barrier.hpp"
+#include "concurrency/thread_team.hpp"
+#include "runtime/aligned_buffer.hpp"
+
+namespace sge {
+
+std::uint32_t multi_source_bfs(const CsrGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options) {
+    const vertex_t n = g.num_vertices();
+    if (sources.empty() || sources.size() > 64)
+        throw std::invalid_argument(
+            "multi_source_bfs: need 1..64 sources per batch");
+    for (const vertex_t s : sources)
+        if (s >= n) throw std::out_of_range("multi_source_bfs: source out of range");
+    // Validate before entering the parallel region: a worker throwing
+    // between barriers would strand its teammates.
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        for (std::size_t j = i + 1; j < sources.size(); ++j)
+            if (sources[i] == sources[j])
+                throw std::invalid_argument(
+                    "multi_source_bfs: duplicate source vertex");
+
+    // seen: union of lanes that reached each vertex; frontier/next: the
+    // lanes that reached it exactly this level / next level.
+    AlignedBuffer<std::atomic<std::uint64_t>> seen(n);
+    AlignedBuffer<std::uint64_t> frontier(n);
+    AlignedBuffer<std::atomic<std::uint64_t>> next(n);
+
+    const int threads = std::max(1, options.threads);
+    ThreadTeam team(threads,
+                    options.topology ? *options.topology : Topology::detect());
+    SpinBarrier barrier(threads);
+
+    struct Shared {
+        std::atomic<std::uint64_t> active{0};
+        bool done = false;
+        std::uint32_t levels = 0;
+    } shared;
+
+    team.run([&](int tid) {
+        // Parallel init.
+        const std::size_t per = (n + threads - 1) / threads;
+        const std::size_t begin = static_cast<std::size_t>(tid) * per;
+        const std::size_t end = std::min<std::size_t>(begin + per, n);
+        for (std::size_t v = begin; v < end; ++v) {
+            seen[v].store(0, std::memory_order_relaxed);
+            frontier[v] = 0;
+            next[v].store(0, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait();
+
+        if (tid == 0) {
+            for (std::size_t i = 0; i < sources.size(); ++i) {
+                const std::uint64_t bit = 1ULL << i;
+                const vertex_t s = sources[i];
+                seen[s].store(bit, std::memory_order_relaxed);
+                frontier[s] |= bit;
+            }
+        }
+        barrier.arrive_and_wait();
+
+        // Level-0 callbacks: each worker reports the sources in its slice.
+        for (std::size_t v = begin; v < end; ++v)
+            if (frontier[v] != 0)
+                visit(tid, 0, static_cast<vertex_t>(v), frontier[v]);
+        barrier.arrive_and_wait();
+
+        level_t level = 0;
+        for (;;) {
+            // Scan: spread each frontier vertex's lanes to neighbours.
+            for (std::size_t vi = begin; vi < end; ++vi) {
+                const std::uint64_t lanes = frontier[vi];
+                if (lanes == 0) continue;
+                for (const vertex_t w : g.neighbors(static_cast<vertex_t>(vi))) {
+                    std::uint64_t propagate =
+                        lanes & ~seen[w].load(std::memory_order_relaxed);
+                    if (propagate == 0) continue;
+                    const std::uint64_t prev =
+                        seen[w].fetch_or(propagate, std::memory_order_acq_rel);
+                    propagate &= ~prev;  // lanes we actually won
+                    if (propagate != 0)
+                        next[w].fetch_or(propagate, std::memory_order_relaxed);
+                }
+            }
+            barrier.arrive_and_wait();
+
+            // Swap + report: each worker publishes its slice of `next`.
+            std::uint64_t local_active = 0;
+            for (std::size_t v = begin; v < end; ++v) {
+                const std::uint64_t lanes =
+                    next[v].load(std::memory_order_relaxed);
+                frontier[v] = lanes;
+                next[v].store(0, std::memory_order_relaxed);
+                if (lanes != 0) {
+                    ++local_active;
+                    visit(tid, level + 1, static_cast<vertex_t>(v), lanes);
+                }
+            }
+            shared.active.fetch_add(local_active, std::memory_order_relaxed);
+            barrier.arrive_and_wait();
+
+            if (tid == 0) {
+                shared.done = shared.active.load(std::memory_order_relaxed) == 0;
+                shared.active.store(0, std::memory_order_relaxed);
+                ++shared.levels;
+            }
+            barrier.arrive_and_wait();
+            if (shared.done) break;
+            ++level;
+        }
+    });
+
+    return shared.levels;
+}
+
+}  // namespace sge

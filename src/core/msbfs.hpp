@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "graph/csr_graph.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// Discovery callback for multi_source_bfs. Invoked once per (vertex,
+/// level) with a bitmask over the source batch: bit i set means
+/// sources[i] first reaches `v` at distance `level`. May be called
+/// concurrently from different workers (distinct vertices); `tid`
+/// identifies the worker so callers can keep per-thread accumulators.
+using MsBfsVisitor =
+    std::function<void(int tid, level_t level, vertex_t v, std::uint64_t mask)>;
+
+struct MsBfsOptions {
+    int threads = 1;
+    std::optional<Topology> topology;
+};
+
+/// Bit-parallel multi-source BFS (the MS-BFS technique of Then et al.,
+/// VLDB 2014): runs up to 64 traversals simultaneously, one bit lane per
+/// source, sharing every adjacency scan among all sources whose
+/// frontiers overlap. On small-world graphs frontiers overlap heavily,
+/// so 64 traversals cost a small multiple of one — which is what makes
+/// all-pairs-flavoured analytics (closeness, diameter sampling)
+/// affordable on the paper's workloads.
+///
+/// Levels are synchronous across all lanes, computed with the same
+/// frontier/next + fetch_or discipline as the paper's Algorithm 2.
+/// Returns the number of levels executed (max over lanes).
+/// Throws std::invalid_argument for > 64 or zero sources, or duplicate
+/// source vertices; std::out_of_range for bad ids.
+std::uint32_t multi_source_bfs(const CsrGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options = {});
+
+}  // namespace sge

@@ -1,0 +1,226 @@
+#include "dist/dist_bfs.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "concurrency/channel.hpp"
+#include "concurrency/spin_barrier.hpp"
+#include "concurrency/thread_team.hpp"
+#include "core/engine_common.hpp"
+#include "core/frontier.hpp"
+#include "graph/partition.hpp"
+#include "runtime/timer.hpp"
+
+namespace sge {
+
+namespace {
+
+/// A rank's private copy of its partition rows: local CSR with global
+/// target ids. Built once per BFS (in a real distributed setting this
+/// is the input each process reads; copying makes the no-shared-graph
+/// property literal).
+struct RankSlice {
+    vertex_t first = 0;  // global id of local vertex 0
+    std::vector<edge_offset_t> offsets;
+    std::vector<vertex_t> targets;  // global ids
+
+    [[nodiscard]] vertex_t size() const noexcept {
+        return static_cast<vertex_t>(offsets.empty() ? 0 : offsets.size() - 1);
+    }
+};
+
+RankSlice make_slice(const CsrGraph& g, vertex_t lo, vertex_t hi) {
+    RankSlice slice;
+    slice.first = lo;
+    slice.offsets.reserve(hi - lo + 1);
+    slice.offsets.push_back(0);
+    for (vertex_t v = lo; v < hi; ++v) {
+        const auto adj = g.neighbors(v);
+        slice.targets.insert(slice.targets.end(), adj.begin(), adj.end());
+        slice.offsets.push_back(slice.targets.size());
+    }
+    return slice;
+}
+
+}  // namespace
+
+BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
+                          const DistBfsOptions& options) {
+    detail::check_root(g, root);
+    if (options.ranks < 1)
+        throw std::invalid_argument("distributed_bfs: ranks must be >= 1");
+    const vertex_t n = g.num_vertices();
+    const int ranks = options.ranks;
+    const SocketPartition partition(n, ranks);
+
+    // Per-rank private state, indexed by rank. The structs are only
+    // ever touched by their owning rank thread (and by the final
+    // gather, after join).
+    struct RankState {
+        RankSlice slice;
+        std::vector<vertex_t> parent;   // local index -> global parent
+        std::vector<level_t> level;     // local index
+        std::vector<std::uint8_t> visited;
+        std::vector<vertex_t> frontier;      // local ids
+        std::vector<vertex_t> next_frontier; // local ids
+        std::uint64_t visited_count = 0;
+        std::uint64_t edges_scanned = 0;
+    };
+    std::vector<RankState> states(static_cast<std::size_t>(ranks));
+
+    // Inter-rank fabric: one MPSC inbox per rank, carrying packed
+    // (global child, global parent) tuples.
+    std::vector<std::unique_ptr<Channel<std::uint64_t, kEmptyVisit>>> inbox;
+    inbox.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r)
+        inbox.push_back(std::make_unique<Channel<std::uint64_t, kEmptyVisit>>(
+            options.channel_capacity));
+
+    SpinBarrier barrier(ranks);
+
+    // The allreduce stand-in: each superstep's global next-frontier
+    // size, plus the per-level stats accumulator.
+    struct Shared {
+        std::atomic<std::uint64_t> frontier_total{0};
+        bool done = false;
+        std::uint32_t levels_run = 0;
+    } shared;
+    std::vector<detail::LevelAccum> stats;
+    stats.emplace_back();
+    stats[0].frontier_size = 1;
+
+    WallTimer timer;
+    ThreadTeam team(ranks, Topology::emulate(ranks, 1, 1));
+    team.run([&](int rank) {
+        RankState& me = states[static_cast<std::size_t>(rank)];
+        const auto [lo, hi] = partition.range(rank);
+        me.slice = make_slice(g, lo, hi);
+        const vertex_t local_n = me.slice.size();
+        me.parent.assign(local_n, kInvalidVertex);
+        me.level.assign(local_n, kInvalidLevel);
+        me.visited.assign(local_n, 0);
+
+        // Private visit of a locally-owned global vertex.
+        const auto visit = [&](vertex_t global_child, vertex_t global_parent,
+                               level_t at) {
+            const vertex_t local = global_child - me.slice.first;
+            if (me.visited[local]) return;
+            me.visited[local] = 1;
+            me.parent[local] = global_parent;
+            me.level[local] = at;
+            me.next_frontier.push_back(local);
+            ++me.visited_count;
+        };
+
+        if (partition.socket_of(root) == rank) {
+            const vertex_t local_root = root - me.slice.first;
+            me.visited[local_root] = 1;
+            me.parent[local_root] = root;
+            me.level[local_root] = 0;
+            me.frontier.push_back(local_root);
+            ++me.visited_count;
+        }
+        barrier.arrive_and_wait();
+
+        std::vector<LocalBatch<std::uint64_t>> outgoing;
+        outgoing.reserve(static_cast<std::size_t>(ranks));
+        for (int r = 0; r < ranks; ++r) outgoing.emplace_back(options.batch_size);
+        AlignedBuffer<std::uint64_t> drain(
+            options.batch_size < 1 ? 1 : options.batch_size);
+
+        level_t depth = 0;
+        for (;;) {
+            detail::ThreadCounters counters;
+
+            // ---- superstep phase 1: expand local frontier ----
+            for (const vertex_t local_u : me.frontier) {
+                const vertex_t global_u = me.slice.first + local_u;
+                const auto begin = me.slice.offsets[local_u];
+                const auto end = me.slice.offsets[local_u + 1];
+                counters.edges_scanned += end - begin;
+                for (edge_offset_t e = begin; e < end; ++e) {
+                    const vertex_t w = me.slice.targets[e];
+                    const int owner = partition.socket_of(w);
+                    if (owner == rank) {
+                        ++counters.bitmap_checks;
+                        visit(w, global_u, depth + 1);
+                    } else {
+                        ++counters.remote_tuples;
+                        if (outgoing[owner].push(pack_visit(w, global_u))) {
+                            inbox[owner]->push_batch(outgoing[owner].data(),
+                                                     outgoing[owner].size());
+                            outgoing[owner].clear();
+                        }
+                    }
+                }
+            }
+            for (int r = 0; r < ranks; ++r) {
+                if (!outgoing[r].empty()) {
+                    inbox[r]->push_batch(outgoing[r].data(), outgoing[r].size());
+                    outgoing[r].clear();
+                }
+            }
+            me.edges_scanned += counters.edges_scanned;
+            barrier.arrive_and_wait();
+
+            // ---- superstep phase 2: drain my inbox ----
+            Channel<std::uint64_t, kEmptyVisit>& mine = *inbox[rank];
+            for (;;) {
+                const std::size_t k = mine.pop_batch(drain.data(), drain.size());
+                if (k == 0) break;
+                counters.bitmap_checks += k;
+                for (std::size_t j = 0; j < k; ++j)
+                    visit(visit_child(drain[j]), visit_parent(drain[j]),
+                          depth + 1);
+            }
+
+            // ---- allreduce(next frontier size) ----
+            shared.frontier_total.fetch_add(me.next_frontier.size(),
+                                            std::memory_order_relaxed);
+            counters.flush_into(stats[depth]);
+            barrier.arrive_and_wait();
+
+            if (rank == 0) {
+                const std::uint64_t total =
+                    shared.frontier_total.load(std::memory_order_relaxed);
+                shared.frontier_total.store(0, std::memory_order_relaxed);
+                shared.done = total == 0;
+                ++shared.levels_run;
+                if (!shared.done) {
+                    stats.emplace_back();
+                    stats[depth + 1].frontier_size = total;
+                }
+            }
+            barrier.arrive_and_wait();
+            if (shared.done) break;
+
+            me.frontier.swap(me.next_frontier);
+            me.next_frontier.clear();
+            ++depth;
+        }
+    });
+
+    // ---- gather: assemble the global result from the rank slices ----
+    BfsResult result;
+    result.parent.assign(n, kInvalidVertex);
+    if (options.compute_levels) result.level.assign(n, kInvalidLevel);
+    for (int r = 0; r < ranks; ++r) {
+        const RankState& me = states[static_cast<std::size_t>(r)];
+        const auto [lo, hi] = partition.range(r);
+        for (vertex_t v = lo; v < hi; ++v) {
+            result.parent[v] = me.parent[v - lo];
+            if (options.compute_levels) result.level[v] = me.level[v - lo];
+        }
+        result.vertices_visited += me.visited_count;
+        result.edges_traversed += me.edges_scanned;
+    }
+    result.num_levels = shared.levels_run;
+    result.seconds = timer.seconds();
+    if (options.collect_stats)
+        detail::copy_level_stats(result, stats, shared.levels_run);
+    return result;
+}
+
+}  // namespace sge

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/bfs.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// Options for the distributed-memory-style BFS.
+struct DistBfsOptions {
+    /// Number of emulated ranks (processes). Each rank is one thread
+    /// with *private* state; ranks never touch each other's memory.
+    int ranks = 4;
+    /// Tuple batch per channel send (amortizes the endpoint locks, the
+    /// same batching optimization as Algorithm 3).
+    std::size_t batch_size = 64;
+    /// FastForward ring entries per rank inbox.
+    std::size_t channel_capacity = 1 << 15;
+    bool compute_levels = true;
+    bool collect_stats = false;
+};
+
+/// 1-D distributed BFS — the paper's stated future work ("extend the
+/// algorithmic design ... to distributed-memory machines ... with
+/// lightweight PGAS programming languages"), emulated in-process so the
+/// algorithm is testable without MPI:
+///
+///  * vertices are block-partitioned over R ranks; each rank *copies*
+///    its rows into a private CSR slice and owns private parent, level
+///    and visited arrays indexed by local id — there is no shared
+///    algorithmic state whatsoever, unlike Algorithm 3's shared bitmap;
+///  * the only communication is (child, parent) tuples through the
+///    inter-rank channels (the same ticket-locked FastForward fabric
+///    Algorithm 3 uses between sockets) plus a barrier + counter that
+///    stands in for MPI_Allreduce on the frontier size;
+///  * each BFS level is one BSP superstep: scan local frontier, send
+///    remote discoveries, barrier, drain inbox, barrier, allreduce.
+///
+/// This is the Yoo et al. BlueGene/L structure [11][20] the paper
+/// compares against, expressed with the paper's own channel machinery.
+/// Results are gathered into an ordinary BfsResult; remote_tuples in
+/// the level stats counts the communication volume.
+BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
+                          const DistBfsOptions& options = {});
+
+}  // namespace sge

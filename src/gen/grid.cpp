@@ -1,0 +1,43 @@
+#include "gen/grid.hpp"
+
+#include <stdexcept>
+
+namespace sge {
+
+EdgeList generate_grid(const GridParams& params) {
+    const std::uint64_t w = params.width;
+    const std::uint64_t h = params.height;
+    const std::uint64_t n = w * h;
+    if (n >= kInvalidVertex)
+        throw std::invalid_argument("generate_grid: grid exceeds vertex id space");
+    if (n == 0) return EdgeList{};
+
+    EdgeList edges(static_cast<vertex_t>(n));
+    // 2 lattice edges per vertex (right, down), 4 with diagonals.
+    edges.reserve(static_cast<std::size_t>(n) * (params.diagonal ? 4 : 2));
+
+    const auto id = [w](std::uint64_t x, std::uint64_t y) {
+        return static_cast<vertex_t>(y * w + x);
+    };
+
+    for (std::uint64_t y = 0; y < h; ++y) {
+        for (std::uint64_t x = 0; x < w; ++x) {
+            const vertex_t v = id(x, y);
+            const bool has_right = x + 1 < w;
+            const bool has_down = y + 1 < h;
+            // Emit each undirected edge from its lexicographically first
+            // endpoint; wrap edges close the torus on the last row/col.
+            if (has_right) edges.add(v, id(x + 1, y));
+            else if (params.wrap && w > 2) edges.add(v, id(0, y));
+            if (has_down) edges.add(v, id(x, y + 1));
+            else if (params.wrap && h > 2) edges.add(v, id(x, 0));
+            if (params.diagonal) {
+                if (has_right && has_down) edges.add(v, id(x + 1, y + 1));
+                if (x > 0 && has_down) edges.add(v, id(x - 1, y + 1));
+            }
+        }
+    }
+    return edges;
+}
+
+}  // namespace sge

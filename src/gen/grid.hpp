@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace sge {
+
+/// Regular 2-D grid graphs, the workload Xia & Prasanna [19] report on
+/// ("8-Grid", "16-Grid" — Table III). Vertices are lattice points of a
+/// width x height mesh; `diagonal` adds the 4 diagonal neighbours
+/// (8-connectivity), `wrap` makes the mesh a torus. Grids are the
+/// antithesis of the random workloads: maximal locality, long BFS
+/// frontiers of nearly constant size — useful for testing the engines'
+/// behaviour when the frontier never explodes.
+struct GridParams {
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    bool diagonal = false;
+    bool wrap = false;
+};
+
+/// Generates the edge list with each undirected lattice edge emitted
+/// once (builder symmetrizes). Throws std::invalid_argument when
+/// width * height exceeds the vertex id space.
+EdgeList generate_grid(const GridParams& params);
+
+}  // namespace sge

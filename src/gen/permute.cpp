@@ -1,0 +1,28 @@
+#include "gen/permute.hpp"
+
+#include <numeric>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+std::vector<vertex_t> permute_vertices(EdgeList& edges, std::uint64_t seed) {
+    const vertex_t n = edges.num_vertices();
+    std::vector<vertex_t> perm(n);
+    std::iota(perm.begin(), perm.end(), vertex_t{0});
+
+    Xoshiro256 rng(seed);
+    // Fisher-Yates: perm becomes a uniform random permutation.
+    for (vertex_t i = n; i > 1; --i) {
+        const auto j = static_cast<vertex_t>(rng.next_below(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+
+    for (Edge& e : edges.edges()) {
+        e.src = perm[e.src];
+        e.dst = perm[e.dst];
+    }
+    return perm;
+}
+
+}  // namespace sge

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace sge {
+
+/// Applies a uniformly random relabelling to all vertex ids in `edges`
+/// (Fisher-Yates permutation, deterministic per seed). Generators like
+/// R-MAT leave structural artefacts in the id space (low ids are the
+/// hubs); Graph500 and GTgraph both shuffle labels so the traversal
+/// cannot exploit id locality the real workload would not have.
+/// Returns the permutation used (perm[old_id] == new_id) so callers can
+/// map roots or results back.
+std::vector<vertex_t> permute_vertices(EdgeList& edges, std::uint64_t seed);
+
+}  // namespace sge

@@ -1,0 +1,54 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+EdgeList generate_rmat(const RmatParams& params) {
+    if (params.a < 0 || params.b < 0 || params.c < 0 || params.d < 0 ||
+        std::abs(params.a + params.b + params.c + params.d - 1.0) > 1e-6)
+        throw std::invalid_argument(
+            "generate_rmat: quadrant probabilities must be >= 0 and sum to 1");
+    if (params.scale >= 32)
+        throw std::invalid_argument("generate_rmat: scale must be < 32");
+
+    const auto n = static_cast<vertex_t>(1ULL << params.scale);
+    EdgeList edges(n);
+    edges.reserve(params.num_edges);
+
+    Xoshiro256 rng(params.seed);
+    for (std::uint64_t e = 0; e < params.num_edges; ++e) {
+        vertex_t src = 0;
+        vertex_t dst = 0;
+        for (std::uint32_t depth = 0; depth < params.scale; ++depth) {
+            // GTgraph-style jitter: perturb (a,b,c,d) per level so the
+            // recursion does not imprint exact self-similar artefacts.
+            const double ja = params.a * (1.0 + params.noise * (2 * rng.next_double() - 1));
+            const double jb = params.b * (1.0 + params.noise * (2 * rng.next_double() - 1));
+            const double jc = params.c * (1.0 + params.noise * (2 * rng.next_double() - 1));
+            const double jd = params.d * (1.0 + params.noise * (2 * rng.next_double() - 1));
+            const double norm = ja + jb + jc + jd;
+
+            const double r = rng.next_double() * norm;
+            src <<= 1;
+            dst <<= 1;
+            if (r < ja) {
+                // top-left quadrant: neither bit set
+            } else if (r < ja + jb) {
+                dst |= 1;
+            } else if (r < ja + jb + jc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edges.add(src, dst);
+    }
+    return edges;
+}
+
+}  // namespace sge

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace sge {
+
+/// R-MAT (Recursive MATrix) scale-free generator — the paper's second
+/// workload family, produced there with the GTgraph suite [26]. Each
+/// edge picks a quadrant of the adjacency matrix with probabilities
+/// (a, b, c, d) recursively, scale times; GTgraph's defaults
+/// (0.45, 0.15, 0.15, 0.25) yield power-law degree distributions with
+/// community structure ("a few high degree vertices and many low-degree
+/// ones", Section IV).
+struct RmatParams {
+    /// num_vertices = 2^scale.
+    std::uint32_t scale = 16;
+    std::uint64_t num_edges = 1 << 20;
+    double a = 0.45;
+    double b = 0.15;
+    double c = 0.15;
+    double d = 0.25;
+    /// Per-level parameter noise (GTgraph applies +-10% jitter so the
+    /// quadrant probabilities vary with depth and the degree
+    /// distribution does not collapse onto exact powers).
+    double noise = 0.1;
+    std::uint64_t seed = 1;
+};
+
+/// Generates the directed R-MAT edge list; deterministic per seed.
+/// Throws std::invalid_argument when the probabilities are negative or
+/// do not sum to ~1.
+EdgeList generate_rmat(const RmatParams& params);
+
+}  // namespace sge

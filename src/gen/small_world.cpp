@@ -1,0 +1,41 @@
+#include "gen/small_world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+EdgeList generate_small_world(const SmallWorldParams& params) {
+    const vertex_t n = params.num_vertices;
+    if (n == 0) return EdgeList{};
+    if (params.rewire_probability < 0.0 || params.rewire_probability > 1.0)
+        throw std::invalid_argument(
+            "generate_small_world: rewire_probability outside [0, 1]");
+
+    const std::uint32_t half_k = std::max<std::uint32_t>(params.mean_degree / 2, 1);
+    if (2 * half_k >= n)
+        throw std::invalid_argument(
+            "generate_small_world: mean_degree must be < num_vertices");
+
+    EdgeList edges(n);
+    edges.reserve(static_cast<std::size_t>(n) * half_k);
+
+    Xoshiro256 rng(params.seed);
+    for (vertex_t u = 0; u < n; ++u) {
+        for (std::uint32_t j = 1; j <= half_k; ++j) {
+            vertex_t v = static_cast<vertex_t>((u + j) % n);
+            if (params.rewire_probability > 0.0 &&
+                rng.next_double() < params.rewire_probability) {
+                // Rewire the far endpoint to a uniform non-self target.
+                v = static_cast<vertex_t>(rng.next_below(n - 1));
+                if (v >= u) ++v;
+            }
+            edges.add(u, v);
+        }
+    }
+    return edges;
+}
+
+}  // namespace sge

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace sge {
+
+/// Watts-Strogatz small-world generator: a ring lattice where each
+/// vertex connects to its k nearest neighbours, with every lattice edge
+/// rewired to a random endpoint with probability `rewire_probability`.
+///
+/// Completes the workload spectrum around the paper's families:
+/// p = 0 is a pure high-diameter lattice (like the grids Xia & Prasanna
+/// use), p = 1 approaches uniformly random, and intermediate p gives
+/// the high-clustering/low-diameter regime where BFS frontiers stay
+/// moderate but locality is poor — a distinct stress profile for the
+/// engines.
+struct SmallWorldParams {
+    vertex_t num_vertices = 0;
+    /// Each vertex links to the k/2 neighbours on each side (k rounded
+    /// down to even; minimum 2).
+    std::uint32_t mean_degree = 4;
+    double rewire_probability = 0.1;
+    std::uint64_t seed = 1;
+};
+
+/// Generates the edge list (each lattice edge emitted once). Throws
+/// std::invalid_argument for probability outside [0, 1] or k >= n.
+EdgeList generate_small_world(const SmallWorldParams& params);
+
+}  // namespace sge

@@ -1,0 +1,53 @@
+#include "gen/ssca2.hpp"
+
+#include <vector>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+EdgeList generate_ssca2(const Ssca2Params& params) {
+    const vertex_t n = params.num_vertices;
+    if (n == 0) return EdgeList{};
+
+    Xoshiro256 rng(params.seed);
+
+    // Carve the vertex range into cliques of size U[1, max_clique_size].
+    std::vector<vertex_t> clique_start;
+    vertex_t v = 0;
+    while (v < n) {
+        clique_start.push_back(v);
+        const auto size =
+            static_cast<vertex_t>(1 + rng.next_below(params.max_clique_size));
+        v = (v > n - size) ? n : v + size;  // overflow-safe clamp to n
+    }
+    clique_start.push_back(n);  // sentinel
+    const std::size_t cliques = clique_start.size() - 1;
+
+    EdgeList edges(n);
+    for (std::size_t c = 0; c < cliques; ++c) {
+        const vertex_t begin = clique_start[c];
+        const vertex_t end = clique_start[c + 1];
+        // Complete intra-clique subgraph (each undirected pair once).
+        for (vertex_t a = begin; a < end; ++a)
+            for (vertex_t b = a + 1; b < end; ++b) edges.add(a, b);
+        // Inter-clique edges: geometrically prefer nearby cliques, the
+        // SSCA#2 trait that yields strong community structure.
+        for (vertex_t a = begin; a < end; ++a) {
+            for (std::uint32_t k = 0; k < params.inter_clique_edges; ++k) {
+                if (cliques < 2) break;
+                std::size_t hop = 1;
+                while (hop < cliques - 1 && rng.next_double() < 0.5) hop <<= 1;
+                const std::size_t target_clique =
+                    (c + 1 + rng.next_below(hop)) % cliques;
+                if (target_clique == c) continue;
+                const vertex_t tb = clique_start[target_clique];
+                const vertex_t te = clique_start[target_clique + 1];
+                edges.add(a, tb + static_cast<vertex_t>(rng.next_below(te - tb)));
+            }
+        }
+    }
+    return edges;
+}
+
+}  // namespace sge

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace sge {
+
+/// SSCA#2-style clustered graph (DARPA HPCS Scalable Synthetic Compact
+/// Applications benchmark #2, also shipped with GTgraph). Vertices are
+/// grouped into cliques of random size up to `max_clique_size`;
+/// intra-clique edges are complete, and each vertex sprays a few
+/// inter-clique edges whose endpoints prefer nearby cliques. Figure 10
+/// of the paper runs "SSCA#2-representative" throughput experiments —
+/// one BFS instance per socket on independent graphs.
+struct Ssca2Params {
+    vertex_t num_vertices = 0;
+    std::uint32_t max_clique_size = 16;
+    /// Expected inter-clique out-edges per vertex.
+    std::uint32_t inter_clique_edges = 3;
+    std::uint64_t seed = 1;
+};
+
+/// Generates the directed edge list; deterministic per seed.
+EdgeList generate_ssca2(const Ssca2Params& params);
+
+}  // namespace sge

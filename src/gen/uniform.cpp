@@ -1,0 +1,32 @@
+#include "gen/uniform.hpp"
+
+#include <stdexcept>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+EdgeList generate_uniform(const UniformParams& params) {
+    const vertex_t n = params.num_vertices;
+    if (n == 0) return EdgeList{};
+    if (n == 1 && params.degree > 0)
+        throw std::invalid_argument(
+            "generate_uniform: cannot draw non-self-loop neighbours with n == 1");
+
+    EdgeList edges(n);
+    edges.reserve(static_cast<std::size_t>(n) * params.degree);
+
+    Xoshiro256 rng(params.seed);
+    for (vertex_t v = 0; v < n; ++v) {
+        for (std::uint32_t k = 0; k < params.degree; ++k) {
+            // Draw from [0, n-1) and shift past v: uniform over the
+            // other n-1 vertices with a single draw, no rejection loop.
+            auto w = static_cast<vertex_t>(rng.next_below(n - 1));
+            if (w >= v) ++w;
+            edges.add(v, w);
+        }
+    }
+    return edges;
+}
+
+}  // namespace sge

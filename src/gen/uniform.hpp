@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace sge {
+
+/// Parameters for the paper's "Uniformly Random Graphs": n vertices,
+/// each with (out-)degree `degree`, neighbours drawn uniformly at
+/// random (Section IV). Self-loops are rejected at draw time; parallel
+/// edges may occur, exactly as with GTgraph's random generator, and are
+/// collapsed (or not) by the CSR builder.
+struct UniformParams {
+    vertex_t num_vertices = 0;
+    std::uint32_t degree = 8;
+    std::uint64_t seed = 1;
+};
+
+/// Generates the directed edge list (num_vertices * degree edges).
+/// Deterministic for a given seed.
+EdgeList generate_uniform(const UniformParams& params);
+
+}  // namespace sge

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/types.hpp"
+#include "runtime/aligned_buffer.hpp"
+
+namespace sge {
+
+/// Immutable Compressed Sparse Row graph — the paper's data layout.
+///
+/// Two flat, cache-line-aligned arrays:
+///   offsets[n+1] : edge_offset_t, offsets[v]..offsets[v+1] delimit v's
+///                  adjacency in `targets`;
+///   targets[m]   : vertex_t neighbour ids.
+///
+/// The BFS working-set hierarchy the paper builds on top of this layout:
+/// the visited bitmap (1 bit/vertex, hot) < parent array (4 B/vertex) <
+/// offsets (8 B/vertex) < targets (4 B/edge, cold, streamed).
+class CsrGraph {
+  public:
+    CsrGraph() = default;
+
+    /// Takes ownership of prebuilt arrays. `offsets` must have
+    /// num_vertices+1 entries, be non-decreasing, start at 0 and end at
+    /// targets.size(); use csr_from_edges() for checked construction.
+    CsrGraph(AlignedBuffer<edge_offset_t> offsets, AlignedBuffer<vertex_t> targets)
+        : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+
+    CsrGraph(CsrGraph&&) noexcept = default;
+    CsrGraph& operator=(CsrGraph&&) noexcept = default;
+
+    [[nodiscard]] vertex_t num_vertices() const noexcept {
+        return offsets_.empty() ? 0 : static_cast<vertex_t>(offsets_.size() - 1);
+    }
+
+    [[nodiscard]] edge_offset_t num_edges() const noexcept {
+        return offsets_.empty() ? 0 : offsets_[offsets_.size() - 1];
+    }
+
+    [[nodiscard]] edge_offset_t degree(vertex_t v) const noexcept {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /// The adjacency list of `v` as a read-only span.
+    [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const noexcept {
+        return {targets_.data() + offsets_[v],
+                static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+    }
+
+    /// True when edge (u, v) exists. O(log deg(u)) when the graph was
+    /// built with sorted adjacencies (the builder default), else O(deg).
+    [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const noexcept;
+
+    [[nodiscard]] std::span<const edge_offset_t> offsets() const noexcept {
+        return offsets_.span();
+    }
+    [[nodiscard]] std::span<const vertex_t> targets() const noexcept {
+        return targets_.span();
+    }
+
+    /// Heap bytes held by the two arrays.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return offsets_.size() * sizeof(edge_offset_t) +
+               targets_.size() * sizeof(vertex_t);
+    }
+
+    /// Structural checks (monotone offsets, targets in range). Returns
+    /// true when the instance is a well-formed CSR. Used by tests and by
+    /// the binary reader on untrusted files.
+    [[nodiscard]] bool well_formed() const noexcept;
+
+    /// Deep structural equality (same offsets and targets).
+    friend bool operator==(const CsrGraph& a, const CsrGraph& b) noexcept;
+
+  private:
+    AlignedBuffer<edge_offset_t> offsets_;
+    AlignedBuffer<vertex_t> targets_;
+};
+
+}  // namespace sge

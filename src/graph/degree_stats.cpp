@@ -1,0 +1,38 @@
+#include "graph/degree_stats.hpp"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+namespace sge {
+
+DegreeStats compute_degree_stats(const CsrGraph& g) {
+    DegreeStats stats;
+    const vertex_t n = g.num_vertices();
+    if (n == 0) return stats;
+
+    stats.min_degree = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t total = 0;
+    for (vertex_t v = 0; v < n; ++v) {
+        const std::uint64_t d = g.degree(v);
+        total += d;
+        stats.min_degree = std::min(stats.min_degree, d);
+        stats.max_degree = std::max(stats.max_degree, d);
+        if (d == 0) ++stats.isolated_vertices;
+        const std::size_t bucket = d < 2 ? 0 : std::bit_width(d) - 1;
+        if (stats.log2_histogram.size() <= bucket)
+            stats.log2_histogram.resize(bucket + 1, 0);
+        ++stats.log2_histogram[bucket];
+    }
+    stats.mean_degree = static_cast<double>(total) / static_cast<double>(n);
+    return stats;
+}
+
+std::string DegreeStats::describe() const {
+    std::ostringstream out;
+    out << "degree min=" << min_degree << " max=" << max_degree
+        << " mean=" << mean_degree << " isolated=" << isolated_vertices;
+    return out.str();
+}
+
+}  // namespace sge

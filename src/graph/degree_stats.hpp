@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// Degree-distribution summary of a graph. The paper's two workload
+/// families differ exactly here: uniformly random graphs have a tight
+/// binomial-like distribution, R-MAT graphs a heavy tail ("a few high
+/// degree vertices and many low-degree ones") — which is why R-MAT
+/// processing rates come out higher (Section IV).
+struct DegreeStats {
+    std::uint64_t min_degree = 0;
+    std::uint64_t max_degree = 0;
+    double mean_degree = 0.0;
+    std::uint64_t isolated_vertices = 0;
+    /// histogram[k] = number of vertices with degree in [2^k, 2^(k+1));
+    /// histogram[0] counts degree 0 and 1.
+    std::vector<std::uint64_t> log2_histogram;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+DegreeStats compute_degree_stats(const CsrGraph& g);
+
+}  // namespace sge

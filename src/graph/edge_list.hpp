@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sge {
+
+/// A directed edge (src -> dst).
+struct Edge {
+    vertex_t src;
+    vertex_t dst;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Mutable edge container produced by the generators and consumed by the
+/// CSR builder. Stores the intended vertex-count explicitly because
+/// generated graphs may have isolated vertices beyond max(src, dst).
+class EdgeList {
+  public:
+    EdgeList() = default;
+    explicit EdgeList(vertex_t num_vertices) : num_vertices_(num_vertices) {}
+
+    void reserve(std::size_t edges) { edges_.reserve(edges); }
+
+    void add(vertex_t src, vertex_t dst) { edges_.push_back({src, dst}); }
+
+    /// Grows the declared vertex count (never shrinks below observed ids).
+    void set_num_vertices(vertex_t n) {
+        if (n > num_vertices_) num_vertices_ = n;
+    }
+
+    [[nodiscard]] vertex_t num_vertices() const noexcept { return num_vertices_; }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return edges_.empty(); }
+
+    [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+    [[nodiscard]] std::span<Edge> edges() noexcept { return edges_; }
+
+    [[nodiscard]] const Edge& operator[](std::size_t i) const noexcept {
+        return edges_[i];
+    }
+
+    auto begin() const noexcept { return edges_.begin(); }
+    auto end() const noexcept { return edges_.end(); }
+
+  private:
+    std::vector<Edge> edges_;
+    vertex_t num_vertices_ = 0;
+};
+
+}  // namespace sge

@@ -1,0 +1,131 @@
+#include "graph/gpartition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "graph/partition.hpp"
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+PartitionQuality evaluate_partition(const CsrGraph& g,
+                                    std::span<const int> part, int parts) {
+    if (part.size() != g.num_vertices())
+        throw std::invalid_argument(
+            "evaluate_partition: assignment size != num_vertices");
+    if (parts < 1) throw std::invalid_argument("evaluate_partition: parts < 1");
+
+    PartitionQuality quality;
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(parts), 0);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        const int p = part[v];
+        if (p < 0 || p >= parts)
+            throw std::invalid_argument("evaluate_partition: part id out of range");
+        ++sizes[static_cast<std::size_t>(p)];
+        for (const vertex_t w : g.neighbors(v))
+            if (part[w] != p) ++quality.cut_arcs;
+    }
+    const double ideal =
+        static_cast<double>(g.num_vertices()) / static_cast<double>(parts);
+    const std::uint64_t biggest = *std::max_element(sizes.begin(), sizes.end());
+    quality.imbalance = ideal > 0 ? static_cast<double>(biggest) / ideal - 1.0
+                                  : 0.0;
+    return quality;
+}
+
+PartitionAssignment block_partition(vertex_t num_vertices, int parts) {
+    const SocketPartition blocks(num_vertices, parts);
+    PartitionAssignment out;
+    out.parts = blocks.sockets();
+    out.part.resize(num_vertices);
+    for (vertex_t v = 0; v < num_vertices; ++v)
+        out.part[v] = blocks.socket_of(v);
+    return out;
+}
+
+PartitionAssignment bfs_grow_partition(const CsrGraph& g, int parts,
+                                       std::uint64_t seed) {
+    const vertex_t n = g.num_vertices();
+    if (parts < 1) throw std::invalid_argument("bfs_grow_partition: parts < 1");
+    parts = std::min<int>(parts, std::max<vertex_t>(n, 1));
+
+    PartitionAssignment out;
+    out.parts = parts;
+    out.part.assign(n, -1);
+    if (n == 0) return out;
+
+    const std::uint64_t cap =
+        (n + static_cast<std::uint64_t>(parts) - 1) / parts;
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(parts), 0);
+    std::vector<std::deque<vertex_t>> frontier(
+        static_cast<std::size_t>(parts));
+
+    // Seeds: distinct random vertices.
+    Xoshiro256 rng(seed);
+    for (int p = 0; p < parts; ++p) {
+        vertex_t s;
+        do {
+            s = static_cast<vertex_t>(rng.next_below(n));
+        } while (out.part[s] != -1);
+        out.part[s] = p;
+        ++sizes[static_cast<std::size_t>(p)];
+        frontier[static_cast<std::size_t>(p)].push_back(s);
+    }
+
+    // Round-robin breadth-first growth under the cap.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int p = 0; p < parts; ++p) {
+            auto& q = frontier[static_cast<std::size_t>(p)];
+            // Claim at most one vertex's adjacency per turn so the
+            // regions grow in lockstep (balance over speed).
+            while (!q.empty() && sizes[static_cast<std::size_t>(p)] < cap) {
+                const vertex_t u = q.front();
+                q.pop_front();
+                bool claimed = false;
+                for (const vertex_t w : g.neighbors(u)) {
+                    if (out.part[w] != -1) continue;
+                    if (sizes[static_cast<std::size_t>(p)] >= cap) break;
+                    out.part[w] = p;
+                    ++sizes[static_cast<std::size_t>(p)];
+                    q.push_back(w);
+                    claimed = true;
+                }
+                progress = true;
+                if (claimed) break;  // yield the turn after real growth
+            }
+        }
+    }
+
+    // Debris (other components / cap overflow): emptiest part first.
+    for (vertex_t v = 0; v < n; ++v) {
+        if (out.part[v] != -1) continue;
+        const auto emptiest = static_cast<int>(
+            std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+        out.part[v] = emptiest;
+        ++sizes[static_cast<std::size_t>(emptiest)];
+    }
+    return out;
+}
+
+std::vector<vertex_t> partition_order(const PartitionAssignment& assignment) {
+    const auto n = static_cast<vertex_t>(assignment.part.size());
+    // Counting sort by part id, stable within a part.
+    std::vector<vertex_t> start(static_cast<std::size_t>(assignment.parts) + 1,
+                                0);
+    for (const int p : assignment.part) {
+        if (p < 0 || p >= assignment.parts)
+            throw std::invalid_argument("partition_order: part id out of range");
+        ++start[static_cast<std::size_t>(p) + 1];
+    }
+    for (std::size_t p = 1; p < start.size(); ++p) start[p] += start[p - 1];
+
+    std::vector<vertex_t> perm(n);
+    for (vertex_t v = 0; v < n; ++v)
+        perm[v] = start[static_cast<std::size_t>(assignment.part[v])]++;
+    return perm;
+}
+
+}  // namespace sge

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// An explicit vertex -> part assignment (contrast SocketPartition,
+/// which is the implicit contiguous-block rule).
+struct PartitionAssignment {
+    std::vector<int> part;  ///< part[v] in [0, parts)
+    int parts = 0;
+};
+
+/// Quality metrics of an assignment. Cut arcs are exactly the tuples
+/// Algorithm 3 ships through channels (and the distributed BFS sends as
+/// messages), so minimising them minimises inter-socket traffic.
+struct PartitionQuality {
+    std::uint64_t cut_arcs = 0;
+    /// max part size / ideal size - 1 (0 = perfectly balanced).
+    double imbalance = 0.0;
+};
+
+PartitionQuality evaluate_partition(const CsrGraph& g,
+                                    std::span<const int> part, int parts);
+
+/// The baseline the paper uses: contiguous id blocks.
+PartitionAssignment block_partition(vertex_t num_vertices, int parts);
+
+/// Greedy BFS region growing: `parts` seeds, frontiers grown
+/// breadth-first round-robin under a balance cap, unreached debris
+/// backfilled to the emptiest parts. On graphs with locality (grids,
+/// communities) this cuts far fewer edges than blocks over shuffled
+/// labels; combined with partition_order() it feeds Algorithm 3
+/// directly.
+PartitionAssignment bfs_grow_partition(const CsrGraph& g, int parts,
+                                       std::uint64_t seed = 1);
+
+/// Permutation (old id -> new id) that renumbers vertices so each
+/// part's vertices form one contiguous block, part 0 first — the layout
+/// SocketPartition assumes. apply_vertex_permutation() then makes any
+/// PartitionAssignment usable by the multi-socket/distributed engines.
+std::vector<vertex_t> partition_order(const PartitionAssignment& assignment);
+
+}  // namespace sge

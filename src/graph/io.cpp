@@ -1,0 +1,151 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sge {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'G', 'E', 'C', 'S', 'R', '0', '1'};
+constexpr char kWeightedMagic[8] = {'S', 'G', 'E', 'W', 'S', 'R', '0', '1'};
+
+void write_raw(std::ofstream& out, const void* p, std::size_t bytes) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+    if (!out) throw std::runtime_error("write_csr: short write");
+}
+
+void read_raw(std::ifstream& in, void* p, std::size_t bytes) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(in.gcount()) != bytes)
+        throw std::runtime_error("read_csr: truncated file");
+}
+
+}  // namespace
+
+void write_csr(const CsrGraph& g, const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_csr: cannot open " + path);
+
+    const std::uint64_t n = g.num_vertices();
+    const std::uint64_t m = g.num_edges();
+    write_raw(out, kMagic, sizeof(kMagic));
+    write_raw(out, &n, sizeof(n));
+    write_raw(out, &m, sizeof(m));
+    write_raw(out, g.offsets().data(), g.offsets().size() * sizeof(edge_offset_t));
+    write_raw(out, g.targets().data(), g.targets().size() * sizeof(vertex_t));
+}
+
+CsrGraph read_csr(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_csr: cannot open " + path);
+
+    char magic[8];
+    read_raw(in, magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("read_csr: bad magic in " + path);
+
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    read_raw(in, &n, sizeof(n));
+    read_raw(in, &m, sizeof(m));
+    if (n >= kInvalidVertex)
+        throw std::runtime_error("read_csr: vertex count out of range");
+
+    AlignedBuffer<edge_offset_t> offsets(static_cast<std::size_t>(n) + 1);
+    AlignedBuffer<vertex_t> targets(static_cast<std::size_t>(m));
+    read_raw(in, offsets.data(), offsets.size() * sizeof(edge_offset_t));
+    read_raw(in, targets.data(), targets.size() * sizeof(vertex_t));
+
+    CsrGraph g(std::move(offsets), std::move(targets));
+    if (!g.well_formed())
+        throw std::runtime_error("read_csr: file is not a well-formed CSR: " + path);
+    return g;
+}
+
+void write_weighted_csr(const WeightedCsrGraph& g, const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_weighted_csr: cannot open " + path);
+
+    const std::uint64_t n = g.num_vertices();
+    const std::uint64_t m = g.num_edges();
+    write_raw(out, kWeightedMagic, sizeof(kWeightedMagic));
+    write_raw(out, &n, sizeof(n));
+    write_raw(out, &m, sizeof(m));
+    write_raw(out, g.graph().offsets().data(),
+              g.graph().offsets().size() * sizeof(edge_offset_t));
+    write_raw(out, g.graph().targets().data(),
+              g.graph().targets().size() * sizeof(vertex_t));
+    write_raw(out, g.all_weights().data(),
+              g.all_weights().size() * sizeof(weight_t));
+}
+
+WeightedCsrGraph read_weighted_csr(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_weighted_csr: cannot open " + path);
+
+    char magic[8];
+    read_raw(in, magic, sizeof(magic));
+    if (std::memcmp(magic, kWeightedMagic, sizeof(kWeightedMagic)) != 0)
+        throw std::runtime_error("read_weighted_csr: bad magic in " + path);
+
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    read_raw(in, &n, sizeof(n));
+    read_raw(in, &m, sizeof(m));
+    if (n >= kInvalidVertex)
+        throw std::runtime_error("read_weighted_csr: vertex count out of range");
+
+    AlignedBuffer<edge_offset_t> offsets(static_cast<std::size_t>(n) + 1);
+    AlignedBuffer<vertex_t> targets(static_cast<std::size_t>(m));
+    AlignedBuffer<weight_t> weights(static_cast<std::size_t>(m));
+    read_raw(in, offsets.data(), offsets.size() * sizeof(edge_offset_t));
+    read_raw(in, targets.data(), targets.size() * sizeof(vertex_t));
+    read_raw(in, weights.data(), weights.size() * sizeof(weight_t));
+
+    CsrGraph g(std::move(offsets), std::move(targets));
+    if (!g.well_formed())
+        throw std::runtime_error(
+            "read_weighted_csr: file is not a well-formed CSR: " + path);
+    return WeightedCsrGraph(std::move(g), std::move(weights));
+}
+
+EdgeList read_edge_list_text(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_edge_list_text: cannot open " + path);
+
+    EdgeList edges;
+    std::string line;
+    vertex_t max_id = 0;
+    bool any = false;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+        unsigned long long src = 0;
+        unsigned long long dst = 0;
+        if (std::sscanf(line.c_str(), "%llu %llu", &src, &dst) != 2)
+            throw std::runtime_error("read_edge_list_text: bad line: " + line);
+        if (src >= kInvalidVertex || dst >= kInvalidVertex)
+            throw std::runtime_error("read_edge_list_text: vertex id out of range");
+        edges.add(static_cast<vertex_t>(src), static_cast<vertex_t>(dst));
+        max_id = std::max({max_id, static_cast<vertex_t>(src),
+                           static_cast<vertex_t>(dst)});
+        any = true;
+    }
+    if (any) edges.set_num_vertices(max_id + 1);
+    return edges;
+}
+
+void write_edge_list_text(const EdgeList& edges, const std::string& path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("write_edge_list_text: cannot open " + path);
+    out << "# sge edge list: " << edges.num_vertices() << " vertices, "
+        << edges.num_edges() << " edges\n";
+    for (const Edge& e : edges) out << e.src << ' ' << e.dst << '\n';
+    if (!out) throw std::runtime_error("write_edge_list_text: short write");
+}
+
+}  // namespace sge

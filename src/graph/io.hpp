@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/weighted.hpp"
+
+namespace sge {
+
+/// Binary CSR container ("SGECSR01"): magic, n, m, offsets[n+1],
+/// targets[m], little-endian. Round-trips a built graph so benchmark
+/// runs do not pay generation + build on every invocation.
+void write_csr(const CsrGraph& g, const std::string& path);
+
+/// Reads a file written by write_csr. Throws std::runtime_error on
+/// malformed input (bad magic, truncation, non-well-formed CSR).
+CsrGraph read_csr(const std::string& path);
+
+/// Reads a whitespace-separated text edge list ("src dst" per line,
+/// '#'-prefixed comment lines skipped) — the common interchange format
+/// of SNAP/DIMACS-style graph collections.
+EdgeList read_edge_list_text(const std::string& path);
+
+/// Binary weighted-CSR container ("SGEWSR01"): the CSR payload followed
+/// by the per-arc weight array.
+void write_weighted_csr(const WeightedCsrGraph& g, const std::string& path);
+
+/// Reads a file written by write_weighted_csr. Throws
+/// std::runtime_error on malformed input.
+WeightedCsrGraph read_weighted_csr(const std::string& path);
+
+/// Writes an EdgeList in the same text format.
+void write_edge_list_text(const EdgeList& edges, const std::string& path);
+
+}  // namespace sge

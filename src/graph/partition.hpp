@@ -1,0 +1,61 @@
+#pragma once
+
+#include <utility>
+
+#include "graph/types.hpp"
+
+namespace sge {
+
+/// Contiguous block partition of the vertex id space across sockets —
+/// Algorithm 3 line 2: "allocate ns = n/sockets nodes to each socket...
+/// if graph node v ∈ socket s then both P[v] and Bitmap[v] ∈ socket s".
+///
+/// Block (rather than interleaved) assignment keeps each socket's slice
+/// of the parent array and bitmap contiguous, so the per-socket working
+/// sets are disjoint at cache-line granularity and first-touch places
+/// the pages locally on real NUMA hardware.
+class SocketPartition {
+  public:
+    SocketPartition(vertex_t num_vertices, int sockets) noexcept
+        : n_(num_vertices),
+          sockets_(sockets < 1 ? 1 : sockets),
+          block_(num_vertices == 0
+                     ? 1
+                     : (num_vertices + static_cast<vertex_t>(sockets_) - 1) /
+                           static_cast<vertex_t>(sockets_)) {
+        if (block_ == 0) block_ = 1;
+    }
+
+    /// Socket owning vertex `v` (DetermineSocket in Algorithm 3).
+    [[nodiscard]] int socket_of(vertex_t v) const noexcept {
+        const auto s = static_cast<int>(v / block_);
+        return s < sockets_ ? s : sockets_ - 1;
+    }
+
+    /// Half-open vertex range [first, last) owned by `socket`.
+    [[nodiscard]] std::pair<vertex_t, vertex_t> range(int socket) const noexcept {
+        const auto first = static_cast<std::uint64_t>(socket) * block_;
+        auto last = first + block_;
+        if (socket == sockets_ - 1) last = n_;  // last block absorbs the tail
+        if (first > n_) return {n_, n_};
+        if (last > n_) last = n_;
+        return {static_cast<vertex_t>(first), static_cast<vertex_t>(last)};
+    }
+
+    /// Number of vertices owned by `socket`.
+    [[nodiscard]] vertex_t size(int socket) const noexcept {
+        const auto [first, last] = range(socket);
+        return last - first;
+    }
+
+    [[nodiscard]] int sockets() const noexcept { return sockets_; }
+    [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+    [[nodiscard]] vertex_t block_size() const noexcept { return block_; }
+
+  private:
+    vertex_t n_;
+    int sockets_;
+    vertex_t block_;
+};
+
+}  // namespace sge

@@ -1,0 +1,81 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace sge {
+
+Subgraph induced_subgraph(const CsrGraph& g, std::span<const vertex_t> vertices) {
+    const vertex_t n = g.num_vertices();
+
+    Subgraph out;
+    out.new_of.assign(n, kInvalidVertex);
+    for (const vertex_t v : vertices) {
+        if (v >= n)
+            throw std::out_of_range("induced_subgraph: vertex id out of range");
+        if (out.new_of[v] != kInvalidVertex) continue;  // deduplicate
+        out.new_of[v] = static_cast<vertex_t>(out.original_of.size());
+        out.original_of.push_back(v);
+    }
+
+    EdgeList edges(static_cast<vertex_t>(out.original_of.size()));
+    for (vertex_t nv = 0; nv < out.original_of.size(); ++nv) {
+        const vertex_t old = out.original_of[nv];
+        for (const vertex_t w : g.neighbors(old)) {
+            if (out.new_of[w] == kInvalidVertex) continue;
+            edges.add(nv, out.new_of[w]);
+        }
+    }
+
+    // The arcs above are already directed pairs from a (typically)
+    // symmetric source; rebuild without re-symmetrizing so multiplicity
+    // is preserved exactly.
+    BuildOptions opts;
+    opts.make_undirected = false;
+    opts.remove_self_loops = false;
+    opts.deduplicate = false;
+    out.graph = csr_from_edges(edges, opts);
+    return out;
+}
+
+Subgraph largest_component_subgraph(const CsrGraph& g) {
+    const vertex_t n = g.num_vertices();
+    if (n == 0) return induced_subgraph(g, {});
+
+    // Flood-fill component labelling (kept local so the graph layer does
+    // not depend on analytics).
+    constexpr std::uint32_t kUnassigned = ~0u;
+    std::vector<std::uint32_t> component(n, kUnassigned);
+    std::vector<std::uint64_t> sizes;
+    std::vector<vertex_t> stack;
+    for (vertex_t seed = 0; seed < n; ++seed) {
+        if (component[seed] != kUnassigned) continue;
+        const auto id = static_cast<std::uint32_t>(sizes.size());
+        sizes.push_back(0);
+        component[seed] = id;
+        stack.push_back(seed);
+        while (!stack.empty()) {
+            const vertex_t u = stack.back();
+            stack.pop_back();
+            ++sizes[id];
+            for (const vertex_t v : g.neighbors(u)) {
+                if (component[v] != kUnassigned) continue;
+                component[v] = id;
+                stack.push_back(v);
+            }
+        }
+    }
+
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c < sizes.size(); ++c)
+        if (sizes[c] > sizes[best]) best = c;
+
+    std::vector<vertex_t> members;
+    members.reserve(static_cast<std::size_t>(sizes[best]));
+    for (vertex_t v = 0; v < n; ++v)
+        if (component[v] == best) members.push_back(v);
+    return induced_subgraph(g, members);
+}
+
+}  // namespace sge

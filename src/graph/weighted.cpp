@@ -1,0 +1,41 @@
+#include "graph/weighted.hpp"
+
+#include <stdexcept>
+
+#include "runtime/prng.hpp"
+
+namespace sge {
+
+WeightedCsrGraph::WeightedCsrGraph(CsrGraph graph, AlignedBuffer<weight_t> weights)
+    : graph_(std::move(graph)), weights_(std::move(weights)) {
+    if (weights_.size() != graph_.num_edges())
+        throw std::invalid_argument(
+            "WeightedCsrGraph: weight count != edge count");
+}
+
+WeightedCsrGraph with_random_weights(CsrGraph graph, weight_t min_weight,
+                                     weight_t max_weight, std::uint64_t seed) {
+    if (min_weight > max_weight)
+        throw std::invalid_argument("with_random_weights: min > max");
+
+    const std::uint64_t range = std::uint64_t{max_weight} - min_weight + 1;
+    AlignedBuffer<weight_t> weights(static_cast<std::size_t>(graph.num_edges()));
+
+    const auto offsets = graph.offsets();
+    const auto targets = graph.targets();
+    for (vertex_t u = 0; u < graph.num_vertices(); ++u) {
+        for (edge_offset_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const vertex_t v = targets[e];
+            // Hash the unordered pair so (u,v) and (v,u) agree without
+            // any lookup; fold the seed in so graphs get fresh weights
+            // per seed.
+            const std::uint64_t lo = u < v ? u : v;
+            const std::uint64_t hi = u < v ? v : u;
+            SplitMix64 mix(seed ^ (lo << 32 | hi));
+            weights[e] = static_cast<weight_t>(min_weight + mix.next() % range);
+        }
+    }
+    return WeightedCsrGraph(std::move(graph), std::move(weights));
+}
+
+}  // namespace sge

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace sge {
+
+/// Edge weight. 32-bit unsigned keeps the weight array the same size as
+/// the target array (memory traffic parity with the BFS layout).
+using weight_t = std::uint32_t;
+
+/// A CSR graph plus a parallel per-arc weight array: weights()[e] is the
+/// weight of the arc targets()[e]. Built on top of CsrGraph so every
+/// unweighted algorithm (BFS, components, ...) runs on the structure
+/// unchanged, while weighted searches (uniform-cost/Dijkstra,
+/// delta-stepping) read the weights in lockstep with the adjacency scan.
+class WeightedCsrGraph {
+  public:
+    WeightedCsrGraph() = default;
+
+    /// Takes ownership; `weights.size()` must equal `graph.num_edges()`.
+    WeightedCsrGraph(CsrGraph graph, AlignedBuffer<weight_t> weights);
+
+    [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+    [[nodiscard]] vertex_t num_vertices() const noexcept {
+        return graph_.num_vertices();
+    }
+    [[nodiscard]] edge_offset_t num_edges() const noexcept {
+        return graph_.num_edges();
+    }
+
+    [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const noexcept {
+        return graph_.neighbors(v);
+    }
+
+    /// Weights of v's adjacency, aligned index-for-index with neighbors(v).
+    [[nodiscard]] std::span<const weight_t> weights(vertex_t v) const noexcept {
+        const auto offsets = graph_.offsets();
+        return {weights_.data() + offsets[v],
+                static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+    }
+
+    [[nodiscard]] std::span<const weight_t> all_weights() const noexcept {
+        return weights_.span();
+    }
+
+  private:
+    CsrGraph graph_;
+    AlignedBuffer<weight_t> weights_;
+};
+
+/// Attaches pseudo-random integer weights in [min_weight, max_weight] to
+/// every arc of `graph`. Symmetric arcs get *matching* weights (the
+/// weight of (u,v) equals that of (v,u)) so shortest paths on the
+/// builder's undirected graphs are well defined; this is achieved by
+/// hashing the unordered endpoint pair, so it needs no edge lookup.
+WeightedCsrGraph with_random_weights(CsrGraph graph, weight_t min_weight,
+                                     weight_t max_weight, std::uint64_t seed);
+
+}  // namespace sge

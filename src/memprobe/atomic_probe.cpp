@@ -1,0 +1,55 @@
+#include "memprobe/atomic_probe.hpp"
+
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+
+#include "concurrency/thread_team.hpp"
+#include "runtime/aligned_buffer.hpp"
+#include "runtime/prng.hpp"
+#include "runtime/timer.hpp"
+
+namespace sge {
+
+ProbeResult run_atomic_probe(const AtomicProbeParams& params) {
+    if (params.threads < 1)
+        throw std::invalid_argument("run_atomic_probe: threads must be >= 1");
+
+    // Power-of-two slot count so the index stream is a simple mask.
+    const std::size_t raw_slots = params.buffer_bytes / sizeof(std::uint64_t);
+    const std::size_t slots = std::bit_floor(std::max<std::size_t>(raw_slots, 2));
+    const std::size_t mask = slots - 1;
+
+    AlignedBuffer<std::atomic<std::uint64_t>> buffer(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        buffer[i].store(i, std::memory_order_relaxed);
+
+    ThreadTeam team(params.threads,
+                    params.topology ? *params.topology : Topology::detect());
+
+    std::atomic<std::uint64_t> checksum{0};
+    ProbeResult result;
+
+    WallTimer timer;
+    team.run([&](int tid) {
+        Xoshiro256 rng(params.seed ^ (0x9e3779b97f4a7c15ULL * (tid + 1)));
+        std::uint64_t local = 0;
+        if (params.mode == AtomicProbeParams::Mode::kFetchAdd) {
+            for (std::uint64_t i = 0; i < params.ops_per_thread; ++i)
+                local ^= buffer[rng.next() & mask].fetch_add(
+                    1, std::memory_order_relaxed);
+        } else {
+            for (std::uint64_t i = 0; i < params.ops_per_thread; ++i)
+                local ^= buffer[rng.next() & mask].load(std::memory_order_relaxed);
+        }
+        checksum.fetch_xor(local, std::memory_order_relaxed);
+    });
+    result.seconds = timer.seconds();
+
+    result.operations =
+        static_cast<std::uint64_t>(params.threads) * params.ops_per_thread;
+    result.checksum = checksum.load(std::memory_order_relaxed);
+    return result;
+}
+
+}  // namespace sge

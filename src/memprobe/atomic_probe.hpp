@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "memprobe/memory_probe.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+
+/// The Figure 3 microbenchmark: concurrent atomic fetch-and-add on
+/// random slots of a shared buffer (the paper uses 4 MB across two EP
+/// sockets). The `lock`-prefixed RMW cannot be pipelined like plain
+/// loads, and once the worker set crosses a socket boundary the
+/// invalidation traffic flattens scaling — the observation that
+/// motivates Algorithm 3's channels.
+///
+/// `mode` lets the same harness measure the contrast the paper draws:
+/// pipelined plain reads scale; atomics do not.
+struct AtomicProbeParams {
+    enum class Mode { kFetchAdd, kPlainRead };
+
+    std::size_t buffer_bytes = 4 << 20;
+    int threads = 1;
+    std::uint64_t ops_per_thread = 1 << 20;
+    Mode mode = Mode::kFetchAdd;
+    /// Placement model for the workers (socket-major fill). Defaults to
+    /// detection.
+    std::optional<Topology> topology;
+    std::uint64_t seed = 1;
+};
+
+ProbeResult run_atomic_probe(const AtomicProbeParams& params);
+
+}  // namespace sge

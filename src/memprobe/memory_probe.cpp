@@ -1,0 +1,54 @@
+#include "memprobe/memory_probe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/aligned_buffer.hpp"
+#include "runtime/prng.hpp"
+#include "runtime/timer.hpp"
+
+namespace sge {
+
+ProbeResult run_memory_probe(const MemoryProbeParams& params) {
+    const std::size_t slots =
+        std::max<std::size_t>(params.working_set_bytes / sizeof(std::uint64_t), 2);
+    const std::size_t depth = std::max<std::size_t>(params.batch_depth, 1);
+    if (depth > 64)
+        throw std::invalid_argument("run_memory_probe: batch_depth > 64");
+
+    // Build one random cycle over all slots (Sattolo's algorithm): each
+    // slot holds the index of its successor, so a chase is a chain of
+    // dependent cache misses with no exploitable pattern.
+    AlignedBuffer<std::uint64_t> data(slots);
+    for (std::size_t i = 0; i < slots; ++i) data[i] = i;
+    Xoshiro256 rng(params.seed);
+    for (std::size_t i = slots - 1; i > 0; --i) {
+        const std::size_t j = rng.next_below(i);  // j in [0, i): proper cycle
+        std::swap(data[i], data[j]);
+    }
+
+    // Spread the chains' starting points around the cycle.
+    std::vector<std::uint64_t> cursor(depth);
+    for (std::size_t c = 0; c < depth; ++c)
+        cursor[c] = rng.next_below(slots);
+
+    const std::uint64_t rounds = params.total_reads / depth;
+    ProbeResult result;
+
+    WallTimer timer;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        // `depth` independent loads per round; the compiler cannot fuse
+        // them into one dependency chain because each chases its own
+        // cursor, which is precisely what lets the hardware keep that
+        // many line fills in flight.
+        for (std::size_t c = 0; c < depth; ++c) cursor[c] = data[cursor[c]];
+    }
+    result.seconds = timer.seconds();
+
+    result.operations = rounds * depth;
+    for (std::size_t c = 0; c < depth; ++c) result.checksum ^= cursor[c];
+    return result;
+}
+
+}  // namespace sge

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sge {
+
+/// Result of a probe run.
+struct ProbeResult {
+    double seconds = 0.0;
+    std::uint64_t operations = 0;
+    /// Checksum folded from the loaded values; defeats dead-code
+    /// elimination and lets tests verify the probe really walked memory.
+    std::uint64_t checksum = 0;
+
+    [[nodiscard]] double ops_per_second() const noexcept {
+        return seconds > 0 ? static_cast<double>(operations) / seconds : 0.0;
+    }
+};
+
+/// The Figure 2 microbenchmark: pseudo-random read-only accesses over a
+/// working set of a given size, with a configurable number of
+/// *independent* request chains in flight.
+///
+/// The working set is a single random cycle of next-indices (Sattolo's
+/// algorithm), so each chain is fully dependent internally — every load
+/// must complete before the next issues — while `batch_depth` chains
+/// progress independently, exactly the software-pipelining structure the
+/// paper uses ("the core issues a batch of up to 16 memory requests and
+/// then waits for the completion of all of them"). batch_depth == 1
+/// measures raw load-to-use latency; 16 exposes the memory-level
+/// parallelism of the machine.
+struct MemoryProbeParams {
+    std::size_t working_set_bytes = 1 << 22;
+    std::size_t batch_depth = 16;
+    /// Total loads to issue across all chains.
+    std::uint64_t total_reads = 1 << 22;
+    std::uint64_t seed = 1;
+};
+
+ProbeResult run_memory_probe(const MemoryProbeParams& params);
+
+}  // namespace sge

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace sge {
+
+/// Pins the calling thread to OS CPU `cpu`. Returns true on success.
+/// `cpu < 0` is a no-op returning false — the convention Topology uses
+/// for emulated topologies, where workers float.
+///
+/// Pinning is best-effort: inside containers or cpusets the syscall can
+/// legitimately fail, and the library must keep working (the paper's
+/// algorithms are correct regardless of placement; affinity only affects
+/// performance).
+bool pin_current_thread(int cpu) noexcept;
+
+/// Returns the OS CPU the calling thread last ran on, or -1 if unknown.
+int current_cpu() noexcept;
+
+}  // namespace sge

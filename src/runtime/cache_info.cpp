@@ -1,0 +1,79 @@
+#include "runtime/cache_info.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sge {
+
+namespace {
+
+std::string read_line(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    return line;
+}
+
+/// Parses sysfs cache sizes like "32K", "24576K", "8M".
+std::size_t parse_size(const std::string& text) {
+    if (text.empty()) return 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str()) return 0;
+    std::size_t multiplier = 1;
+    if (end != nullptr && *end != '\0') {
+        switch (*end) {
+            case 'K': multiplier = 1024; break;
+            case 'M': multiplier = 1024 * 1024; break;
+            case 'G': multiplier = 1024ULL * 1024 * 1024; break;
+            default: break;
+        }
+    }
+    return static_cast<std::size_t>(value) * multiplier;
+}
+
+}  // namespace
+
+std::vector<CacheLevel> detect_caches(int cpu) {
+    std::vector<CacheLevel> caches;
+    for (int index = 0;; ++index) {
+        std::ostringstream base;
+        base << "/sys/devices/system/cpu/cpu" << cpu << "/cache/index" << index;
+        std::ifstream probe(base.str() + "/level");
+        if (!probe) break;
+
+        CacheLevel cache;
+        int level = 0;
+        probe >> level;
+        cache.level = level;
+        cache.type = read_line(base.str() + "/type");
+        cache.size_bytes = parse_size(read_line(base.str() + "/size"));
+        cache.line_bytes = parse_size(read_line(base.str() + "/coherency_line_size"));
+        caches.push_back(std::move(cache));
+    }
+    std::stable_sort(caches.begin(), caches.end(),
+                     [](const CacheLevel& a, const CacheLevel& b) {
+                         return a.level < b.level;
+                     });
+    return caches;
+}
+
+std::string describe_caches(const std::vector<CacheLevel>& caches) {
+    if (caches.empty()) return "unknown";
+    std::ostringstream out;
+    bool first = true;
+    for (const CacheLevel& c : caches) {
+        if (!first) out << " / ";
+        first = false;
+        out << "L" << c.level << " " << (c.type.empty() ? "?" : c.type) << " ";
+        if (c.size_bytes >= 1024 * 1024)
+            out << (c.size_bytes / (1024 * 1024)) << " MB";
+        else
+            out << (c.size_bytes / 1024) << " KB";
+    }
+    return out.str();
+}
+
+}  // namespace sge

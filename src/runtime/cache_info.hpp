@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sge {
+
+/// One level of a CPU's cache hierarchy as reported by sysfs.
+struct CacheLevel {
+    int level = 0;              ///< 1, 2, 3, ...
+    std::string type;           ///< "Data", "Instruction", "Unified"
+    std::size_t size_bytes = 0;
+    std::size_t line_bytes = 0;
+};
+
+/// Reads /sys/devices/system/cpu/cpu<cpu>/cache/index*/ (Linux). Returns
+/// an empty vector when the hierarchy is not exposed (some containers,
+/// non-Linux). The working-set analysis of Figure 2 and Table I's cache
+/// columns use this to annotate results with the *actual* hierarchy of
+/// the reproduction host next to the paper's Nehalem numbers.
+std::vector<CacheLevel> detect_caches(int cpu = 0);
+
+/// "L1 Data 32 KB / L2 Unified 1 MB / L3 Unified 32 MB" style summary;
+/// "unknown" when empty.
+std::string describe_caches(const std::vector<CacheLevel>& caches);
+
+}  // namespace sge

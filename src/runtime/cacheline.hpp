@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace sge {
+
+/// Cache-line size assumed throughout the library. Both Nehalem EP and EX
+/// (the paper's platforms, Table I) and every mainstream x86/ARM server
+/// part use 64-byte lines. `std::hardware_destructive_interference_size`
+/// is deliberately not used: it is an ABI hazard (GCC warns when it leaks
+/// into public headers) and 64 is correct on every target we care about.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies (at least) one full cache line.
+/// Used for per-thread counters and queue cursors so that writers on
+/// different threads never invalidate each other's lines (false sharing).
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+    T value{};
+
+    CachePadded() = default;
+    explicit CachePadded(const T& v) : value(v) {}
+
+    T& operator*() noexcept { return value; }
+    const T& operator*() const noexcept { return value; }
+    T* operator->() noexcept { return &value; }
+    const T* operator->() const noexcept { return &value; }
+};
+
+/// Rounds `bytes` up to a whole number of cache lines.
+constexpr std::size_t round_up_to_cacheline(std::size_t bytes) noexcept {
+    return (bytes + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+}
+
+}  // namespace sge

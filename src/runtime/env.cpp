@@ -1,0 +1,42 @@
+#include "runtime/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace sge {
+
+std::optional<std::string> env_string(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+    auto s = env_string(name);
+    if (!s) return fallback;
+    char* end = nullptr;
+    const long long v = std::strtoll(s->c_str(), &end, 10);
+    if (end == s->c_str() || (end != nullptr && *end != '\0')) return fallback;
+    return v;
+}
+
+bool env_bool(const char* name, bool fallback) {
+    auto s = env_string(name);
+    if (!s) return fallback;
+    std::string lowered = *s;
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on")
+        return true;
+    if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off")
+        return false;
+    return fallback;
+}
+
+int scale_shift() {
+    if (env_bool("SGE_FULL", false)) return 8;  // 256x the CI defaults
+    return static_cast<int>(env_int("SGE_SCALE", 0));
+}
+
+}  // namespace sge

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sge {
+
+/// Reads an environment variable, if set and non-empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Reads an integer environment variable; returns `fallback` when unset
+/// or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads a boolean environment variable ("1", "true", "yes", "on" — case
+/// insensitive); returns `fallback` when unset or unparsable.
+bool env_bool(const char* name, bool fallback);
+
+/// Benchmark scale knob. Workload sizes in bench/ are multiplied by
+/// 2^(sge_scale_shift()). SGE_FULL=1 selects paper-sized graphs;
+/// SGE_SCALE=<k> adds k doublings on top of the CI-sized defaults.
+int scale_shift();
+
+}  // namespace sge

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sge {
+
+/// Order statistics + moments of a sample — what the benchmark harness
+/// reports instead of single-shot numbers (multi-run medians are far
+/// more stable than minima under OS jitter on shared machines).
+struct SampleSummary {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;  // population standard deviation
+};
+
+/// Summarises `values` (empty input yields an all-zero summary).
+inline SampleSummary summarize(std::span<const double> values) {
+    SampleSummary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    const std::size_t mid = sorted.size() / 2;
+    s.median = sorted.size() % 2 == 1
+                   ? sorted[mid]
+                   : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+    double total = 0.0;
+    for (const double v : sorted) total += v;
+    s.mean = total / static_cast<double>(sorted.size());
+
+    double var = 0.0;
+    for (const double v : sorted) var += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(sorted.size()));
+    return s;
+}
+
+/// Harmonic mean — the Graph500 aggregate for TEPS rates (the arithmetic
+/// mean over rates overweights easy roots).
+inline double harmonic_mean(std::span<const double> values) {
+    if (values.empty()) return 0.0;
+    double inv = 0.0;
+    for (const double v : values) {
+        if (v <= 0.0) return 0.0;
+        inv += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / inv;
+}
+
+}  // namespace sge

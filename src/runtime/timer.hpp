@@ -1,0 +1,34 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sge {
+
+/// Monotonic wall-clock timer used by every benchmark and by the BFS
+/// engines' per-level timing. Nanosecond resolution via steady_clock.
+class WallTimer {
+  public:
+    WallTimer() : start_(clock::now()) {}
+
+    /// Restarts the timer.
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Nanoseconds elapsed since construction or the last reset().
+    [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+                .count());
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace sge

@@ -1,0 +1,104 @@
+#include "runtime/topology.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sge {
+
+Topology::Topology(int sockets, int cores_per_socket, int smt_per_core,
+                   bool emulated, std::vector<int> cpu_map)
+    : sockets_(std::max(1, sockets)),
+      cores_per_socket_(std::max(1, cores_per_socket)),
+      smt_per_core_(std::max(1, smt_per_core)),
+      emulated_(emulated),
+      cpu_map_(std::move(cpu_map)) {}
+
+Topology Topology::emulate(int sockets, int cores_per_socket, int smt_per_core) {
+    return Topology(sockets, cores_per_socket, smt_per_core, /*emulated=*/true, {});
+}
+
+Topology Topology::nehalem_ep() { return emulate(2, 4, 2); }
+
+Topology Topology::nehalem_ex() { return emulate(4, 8, 2); }
+
+namespace {
+
+/// Reads a small integer file like
+/// /sys/devices/system/cpu/cpu3/topology/physical_package_id.
+int read_int_file(const std::string& path, int fallback) {
+    std::ifstream in(path);
+    int v = fallback;
+    if (in >> v) return v;
+    return fallback;
+}
+
+}  // namespace
+
+Topology Topology::detect() {
+    const long online = sysconf(_SC_NPROCESSORS_ONLN);
+    const int ncpu = online > 0 ? static_cast<int>(online) : 1;
+
+    // Group online CPUs by physical package id. When sysfs is absent
+    // (containers, non-Linux), everything lands in package 0.
+    std::map<int, std::vector<int>> packages;
+    for (int cpu = 0; cpu < ncpu; ++cpu) {
+        std::ostringstream path;
+        path << "/sys/devices/system/cpu/cpu" << cpu
+             << "/topology/physical_package_id";
+        packages[read_int_file(path.str(), 0)].push_back(cpu);
+    }
+
+    const int sockets = static_cast<int>(packages.size());
+    int per_socket = 0;
+    for (const auto& [pkg, cpus] : packages)
+        per_socket = std::max(per_socket, static_cast<int>(cpus.size()));
+
+    // Detection treats each hardware thread as a "core" (smt=1): the
+    // worker placement below is socket-major either way, and the library
+    // never needs to distinguish an SMT sibling from a real core beyond
+    // ordering, which sysfs does not expose portably inside containers.
+    std::vector<int> cpu_map;
+    cpu_map.reserve(static_cast<std::size_t>(ncpu));
+    // Socket-major order: worker 0..per_socket-1 on socket 0, etc. —
+    // matching socket_of_thread().
+    for (const auto& [pkg, cpus] : packages)
+        cpu_map.insert(cpu_map.end(), cpus.begin(), cpus.end());
+
+    return Topology(sockets, per_socket, 1, /*emulated=*/false, std::move(cpu_map));
+}
+
+int Topology::socket_of_thread(int t) const noexcept {
+    const int total_cores = sockets_ * cores_per_socket_;
+    // Fill one thread per physical core, socket by socket; the second
+    // SMT layer only starts once every core has a thread (this is how the
+    // paper scales EP runs from 8 to 16 threads).
+    const int core_index = (t % total_cores + total_cores) % total_cores;
+    return core_index / cores_per_socket_;
+}
+
+int Topology::cpu_of_thread(int t) const noexcept {
+    if (t < 0 || static_cast<std::size_t>(t) >= cpu_map_.size()) return -1;
+    return cpu_map_[static_cast<std::size_t>(t)];
+}
+
+int Topology::sockets_used(int threads) const noexcept {
+    int used = 0;
+    for (int t = 0; t < threads; ++t)
+        used = std::max(used, socket_of_thread(t) + 1);
+    return std::min(used, sockets_);
+}
+
+std::string Topology::describe() const {
+    std::ostringstream out;
+    out << sockets_ << " socket" << (sockets_ > 1 ? "s" : "") << " x "
+        << cores_per_socket_ << " core" << (cores_per_socket_ > 1 ? "s" : "")
+        << " x " << smt_per_core_ << " SMT"
+        << (emulated_ ? " (emulated)" : " (detected)");
+    return out.str();
+}
+
+}  // namespace sge

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sge {
+
+/// Machine topology model: sockets × cores-per-socket × SMT-per-core.
+///
+/// The multi-socket BFS (Algorithm 3 in the paper) needs to know (a) how
+/// many sockets participate, (b) which socket each worker thread belongs
+/// to, and (c) which OS CPU each worker should be pinned to. On the
+/// paper's machines this comes from the hardware (Table I lists the core
+/// affinities of the Nehalem EP/EX). On machines without multiple
+/// sockets — including this reproduction's container — the topology can
+/// be *emulated*: threads are grouped into logical sockets and all the
+/// per-socket data structures and inter-socket channels behave exactly
+/// as on real hardware, minus the physical latency asymmetry.
+class Topology {
+  public:
+    /// Emulated topology with explicit shape.
+    static Topology emulate(int sockets, int cores_per_socket, int smt_per_core);
+
+    /// Paper's dual-socket Nehalem EP: 2 sockets x 4 cores x 2 SMT = 16 threads.
+    static Topology nehalem_ep();
+
+    /// Paper's 4-socket Nehalem EX: 4 sockets x 8 cores x 2 SMT = 64 threads.
+    static Topology nehalem_ex();
+
+    /// Best-effort detection from /sys (Linux). Falls back to a single
+    /// socket holding all online CPUs when the sysfs layout is absent.
+    static Topology detect();
+
+    [[nodiscard]] int sockets() const noexcept { return sockets_; }
+    [[nodiscard]] int cores_per_socket() const noexcept { return cores_per_socket_; }
+    [[nodiscard]] int smt_per_core() const noexcept { return smt_per_core_; }
+    [[nodiscard]] bool emulated() const noexcept { return emulated_; }
+
+    /// Total hardware threads in the model.
+    [[nodiscard]] int max_threads() const noexcept {
+        return sockets_ * cores_per_socket_ * smt_per_core_;
+    }
+
+    /// Logical socket that worker thread `t` belongs to, following the
+    /// paper's placement: fill all cores of socket 0 first, then socket 1,
+    /// ... and only then start the second SMT thread per core. This way
+    /// "8 threads on a 2x4x2 EP" means one thread per physical core.
+    [[nodiscard]] int socket_of_thread(int t) const noexcept;
+
+    /// OS CPU id that worker thread `t` should be pinned to, or -1 when
+    /// the topology is emulated on fewer CPUs than workers (pinning is
+    /// then skipped).
+    [[nodiscard]] int cpu_of_thread(int t) const noexcept;
+
+    /// Number of sockets actually engaged when running `threads` workers
+    /// under the placement of socket_of_thread().
+    [[nodiscard]] int sockets_used(int threads) const noexcept;
+
+    /// Human-readable description ("4 sockets x 8 cores x 2 SMT (emulated)").
+    [[nodiscard]] std::string describe() const;
+
+  private:
+    Topology(int sockets, int cores_per_socket, int smt_per_core, bool emulated,
+             std::vector<int> cpu_map);
+
+    int sockets_ = 1;
+    int cores_per_socket_ = 1;
+    int smt_per_core_ = 1;
+    bool emulated_ = true;
+    /// cpu_map_[t] = OS CPU for worker t; empty means "don't pin".
+    std::vector<int> cpu_map_;
+};
+
+}  // namespace sge

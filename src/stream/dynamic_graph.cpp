@@ -1,0 +1,25 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "runtime/aligned_buffer.hpp"
+
+namespace sge {
+
+CsrGraph DynamicGraph::snapshot() const {
+    const vertex_t n = num_vertices();
+    AlignedBuffer<edge_offset_t> offsets(static_cast<std::size_t>(n) + 1);
+    offsets[0] = 0;
+    for (vertex_t v = 0; v < n; ++v)
+        offsets[v + 1] = offsets[v] + adjacency_[v].size();
+
+    AlignedBuffer<vertex_t> targets(static_cast<std::size_t>(offsets[n]));
+    for (vertex_t v = 0; v < n; ++v) {
+        std::copy(adjacency_[v].begin(), adjacency_[v].end(),
+                  targets.data() + offsets[v]);
+        std::sort(targets.data() + offsets[v], targets.data() + offsets[v + 1]);
+    }
+    return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace sge

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace sge {
+
+/// Mutable adjacency structure for streaming workloads — the paper's
+/// conclusion points the design at "streaming and irregular
+/// applications"; this is the ingestion side: edges arrive over time,
+/// queries (BFS, analytics) run against the current state.
+///
+/// Representation: one growable vector per vertex with amortised-O(1)
+/// undirected insertion. Not thread-safe for concurrent mutation (a
+/// stream has one writer); snapshot() produces an immutable CsrGraph
+/// for the parallel engines, which is the intended query path for
+/// anything heavier than the incremental BFS maintenance in
+/// stream/incremental_bfs.hpp.
+class DynamicGraph {
+  public:
+    explicit DynamicGraph(vertex_t num_vertices)
+        : adjacency_(num_vertices) {}
+
+    /// Builds from an existing static graph (arcs copied as-is).
+    explicit DynamicGraph(const CsrGraph& g) : adjacency_(g.num_vertices()) {
+        for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+            const auto adj = g.neighbors(v);
+            adjacency_[v].assign(adj.begin(), adj.end());
+            num_arcs_ += adj.size();
+        }
+    }
+
+    [[nodiscard]] vertex_t num_vertices() const noexcept {
+        return static_cast<vertex_t>(adjacency_.size());
+    }
+    [[nodiscard]] std::uint64_t num_arcs() const noexcept { return num_arcs_; }
+
+    /// Appends a new isolated vertex; returns its id.
+    vertex_t add_vertex() {
+        adjacency_.emplace_back();
+        return static_cast<vertex_t>(adjacency_.size() - 1);
+    }
+
+    /// Inserts the undirected edge {u, v} (two arcs). No deduplication —
+    /// streams may carry repeats; has_edge/degree see multiplicity.
+    /// Throws std::out_of_range for bad ids.
+    void add_edge(vertex_t u, vertex_t v) {
+        check(u);
+        check(v);
+        adjacency_[u].push_back(v);
+        if (u != v) adjacency_[v].push_back(u);
+        num_arcs_ += (u == v) ? 1 : 2;
+    }
+
+    /// Removes one occurrence of the undirected edge {u, v}; returns
+    /// false when absent.
+    bool remove_edge(vertex_t u, vertex_t v) {
+        check(u);
+        check(v);
+        if (!erase_one(u, v)) return false;
+        if (u != v) erase_one(v, u);
+        num_arcs_ -= (u == v) ? 1 : 2;
+        return true;
+    }
+
+    [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+        check(v);
+        return adjacency_[v];
+    }
+
+    [[nodiscard]] std::uint64_t degree(vertex_t v) const {
+        check(v);
+        return adjacency_[v].size();
+    }
+
+    [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const {
+        check(u);
+        check(v);
+        for (const vertex_t w : adjacency_[u])
+            if (w == v) return true;
+        return false;
+    }
+
+    /// Immutable CSR snapshot of the current state (sorted adjacency).
+    [[nodiscard]] CsrGraph snapshot() const;
+
+  private:
+    void check(vertex_t v) const {
+        if (v >= adjacency_.size())
+            throw std::out_of_range("DynamicGraph: vertex out of range");
+    }
+
+    bool erase_one(vertex_t u, vertex_t v) {
+        auto& adj = adjacency_[u];
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+            if (adj[i] == v) {
+                adj[i] = adj.back();
+                adj.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::vector<std::vector<vertex_t>> adjacency_;
+    std::uint64_t num_arcs_ = 0;
+};
+
+}  // namespace sge

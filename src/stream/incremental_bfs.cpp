@@ -1,0 +1,90 @@
+#include "stream/incremental_bfs.hpp"
+
+#include <stdexcept>
+
+namespace sge {
+
+IncrementalBfs::IncrementalBfs(const DynamicGraph& graph, vertex_t root)
+    : graph_(graph), root_(root) {
+    if (root >= graph.num_vertices())
+        throw std::out_of_range("IncrementalBfs: root out of range");
+    rebuild();
+}
+
+void IncrementalBfs::rebuild() {
+    const vertex_t n = graph_.num_vertices();
+    level_.assign(n, kInvalidLevel);
+    parent_.assign(n, kInvalidVertex);
+    reached_ = 0;
+
+    std::vector<vertex_t> queue{root_};
+    level_[root_] = 0;
+    parent_[root_] = root_;
+    reached_ = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const vertex_t u = queue[head];
+        for (const vertex_t v : graph_.neighbors(u)) {
+            if (level_[v] != kInvalidLevel) continue;
+            level_[v] = level_[u] + 1;
+            parent_[v] = u;
+            ++reached_;
+            queue.push_back(v);
+        }
+    }
+}
+
+void IncrementalBfs::on_vertex_added() {
+    while (level_.size() < graph_.num_vertices()) {
+        level_.push_back(kInvalidLevel);
+        parent_.push_back(kInvalidVertex);
+    }
+}
+
+void IncrementalBfs::bfs_wave(std::vector<vertex_t>& queue,
+                              std::size_t& changed) {
+    // Standard decrease-only relaxation wave: a vertex enters the queue
+    // when its level just dropped; its neighbours re-check.
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const vertex_t u = queue[head];
+        for (const vertex_t v : graph_.neighbors(u)) {
+            const level_t candidate = level_[u] + 1;
+            if (level_[v] != kInvalidLevel && level_[v] <= candidate) continue;
+            if (level_[v] == kInvalidLevel) ++reached_;
+            level_[v] = candidate;
+            parent_[v] = u;
+            ++changed;
+            queue.push_back(v);
+        }
+    }
+    queue.clear();
+}
+
+std::size_t IncrementalBfs::on_edge_added(vertex_t u, vertex_t v) {
+    if (u >= level_.size() || v >= level_.size())
+        throw std::out_of_range("IncrementalBfs: endpoint out of range "
+                                "(did you call on_vertex_added?)");
+
+    const bool u_reached = level_[u] != kInvalidLevel;
+    const bool v_reached = level_[v] != kInvalidLevel;
+    if (!u_reached && !v_reached) return 0;  // still disconnected from root
+
+    std::size_t changed = 0;
+    std::vector<vertex_t> queue;
+    if (u_reached && (!v_reached || level_[u] + 1 < level_[v])) {
+        if (!v_reached) ++reached_;
+        level_[v] = level_[u] + 1;
+        parent_[v] = u;
+        ++changed;
+        queue.push_back(v);
+    } else if (v_reached && (!u_reached || level_[v] + 1 < level_[u])) {
+        if (!u_reached) ++reached_;
+        level_[u] = level_[v] + 1;
+        parent_[u] = v;
+        ++changed;
+        queue.push_back(u);
+    }
+    if (!queue.empty()) bfs_wave(queue, changed);
+    return changed;
+}
+
+}  // namespace sge

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/dynamic_graph.hpp"
+
+namespace sge {
+
+/// Incrementally-maintained BFS levels from a fixed root under edge
+/// insertions — the streaming companion to the batch engines: after
+/// each insertion the levels are repaired locally instead of recomputed
+/// from scratch, so a stream of m edges costs O(total repair) rather
+/// than O(m * (n + m)).
+///
+/// Repair rule for a new edge {u, v}: if one endpoint's level can drop
+/// (level[u] + 1 < level[v] or vice versa), lower it and propagate the
+/// improvement as a BFS wave that only touches vertices whose level
+/// actually decreases — each vertex can decrease at most `levels`
+/// times over the whole stream, bounding the total work.
+///
+/// Deletions are out of scope (level *increases* need the full
+/// decremental machinery); call rebuild() after removals.
+class IncrementalBfs {
+  public:
+    /// Captures the current state of `graph` and computes initial
+    /// levels from `root`. The graph must outlive this object.
+    IncrementalBfs(const DynamicGraph& graph, vertex_t root);
+
+    /// Notify that {u, v} has been inserted into the graph (call after
+    /// DynamicGraph::add_edge). Returns the number of vertices whose
+    /// level changed.
+    std::size_t on_edge_added(vertex_t u, vertex_t v);
+
+    /// Notify that a vertex was appended (add_vertex); it starts
+    /// unreached.
+    void on_vertex_added();
+
+    /// Recomputes from scratch (after deletions or bulk edits).
+    void rebuild();
+
+    [[nodiscard]] vertex_t root() const noexcept { return root_; }
+    [[nodiscard]] level_t level(vertex_t v) const { return level_.at(v); }
+    [[nodiscard]] vertex_t parent(vertex_t v) const { return parent_.at(v); }
+    [[nodiscard]] bool reached(vertex_t v) const {
+        return level_.at(v) != kInvalidLevel;
+    }
+    [[nodiscard]] std::uint64_t reached_count() const noexcept {
+        return reached_;
+    }
+    [[nodiscard]] const std::vector<level_t>& levels() const noexcept {
+        return level_;
+    }
+
+  private:
+    void bfs_wave(std::vector<vertex_t>& queue, std::size_t& changed);
+
+    const DynamicGraph& graph_;
+    vertex_t root_;
+    std::vector<level_t> level_;
+    std::vector<vertex_t> parent_;
+    std::uint64_t reached_ = 0;
+};
+
+}  // namespace sge

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "analytics/connected_components.hpp"
+#include "analytics/level_histogram.hpp"
+#include "analytics/shortest_path.hpp"
+#include "analytics/st_connectivity.hpp"
+#include "gen/rmat.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+// ---------- connected components ----------
+
+TEST(ConnectedComponents, TwoCliques) {
+    const CsrGraph g = test::two_cliques(6);
+    const ComponentsResult r = connected_components(g);
+    EXPECT_EQ(r.num_components(), 2u);
+    EXPECT_EQ(r.sizes[0], 6u);
+    EXPECT_EQ(r.sizes[1], 6u);
+    for (vertex_t v = 0; v < 6; ++v) EXPECT_EQ(r.component[v], 0u);
+    for (vertex_t v = 6; v < 12; ++v) EXPECT_EQ(r.component[v], 1u);
+}
+
+TEST(ConnectedComponents, IsolatedVerticesAreSingletons) {
+    const CsrGraph g = csr_from_edges(EdgeList(7));
+    const ComponentsResult r = connected_components(g);
+    EXPECT_EQ(r.num_components(), 7u);
+    for (const auto size : r.sizes) EXPECT_EQ(size, 1u);
+}
+
+TEST(ConnectedComponents, ConnectedGraphIsOneComponent) {
+    const CsrGraph g = test::cycle_graph(50);
+    const ComponentsResult r = connected_components(g);
+    EXPECT_EQ(r.num_components(), 1u);
+    EXPECT_EQ(r.largest_size(), 50u);
+}
+
+TEST(ConnectedComponents, SizesSumToVertexCount) {
+    UniformParams params;
+    params.num_vertices = 3000;
+    params.degree = 2;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    const ComponentsResult r = connected_components(g);
+    const std::uint64_t total =
+        std::accumulate(r.sizes.begin(), r.sizes.end(), std::uint64_t{0});
+    EXPECT_EQ(total, 3000u);
+}
+
+TEST(ConnectedComponents, AgreesWithBfsReachability) {
+    RmatParams params;
+    params.scale = 11;
+    params.num_edges = 6000;  // sparse: several components
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const ComponentsResult r = connected_components(g);
+    EXPECT_GT(r.num_components(), 1u);
+
+    // BFS from vertex 0 must reach exactly component[0]'s members.
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    const BfsResult b = bfs(g, 0, opts);
+    const std::uint32_t c0 = r.component[0];
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        const bool reached = b.parent[v] != kInvalidVertex;
+        ASSERT_EQ(reached, r.component[v] == c0) << "vertex " << v;
+    }
+    EXPECT_EQ(b.vertices_visited, r.sizes[c0]);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+    const ComponentsResult r = connected_components(csr_from_edges(EdgeList(0)));
+    EXPECT_EQ(r.num_components(), 0u);
+    EXPECT_EQ(r.largest_size(), 0u);
+}
+
+// ---------- parallel (Shiloach-Vishkin-style) components ----------
+
+TEST(ParallelComponents, MatchesSerialExactly) {
+    // Identical partition AND identical dense ids: both number
+    // components by their smallest vertex.
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        UniformParams params;
+        params.num_vertices = 3000;
+        params.degree = 2;  // fragmented: many components
+        params.seed = seed;
+        const CsrGraph g = csr_from_edges(generate_uniform(params));
+
+        const ComponentsResult serial = connected_components(g);
+        ParallelComponentsOptions opts;
+        opts.threads = 4;
+        opts.topology = Topology::emulate(2, 2, 1);
+        const ComponentsResult parallel = connected_components_parallel(g, opts);
+        ASSERT_EQ(serial.component, parallel.component) << "seed " << seed;
+        ASSERT_EQ(serial.sizes, parallel.sizes) << "seed " << seed;
+    }
+}
+
+TEST(ParallelComponents, LongChainConverges) {
+    // A path is the worst case for hooking (O(log n) rounds of pointer
+    // jumping must collapse a length-n chain).
+    const CsrGraph g = test::path_graph(5000);
+    ParallelComponentsOptions opts;
+    opts.threads = 4;
+    opts.topology = Topology::emulate(1, 4, 1);
+    const ComponentsResult r = connected_components_parallel(g, opts);
+    EXPECT_EQ(r.num_components(), 1u);
+    EXPECT_EQ(r.sizes[0], 5000u);
+}
+
+TEST(ParallelComponents, IsolatedAndEmpty) {
+    const ComponentsResult iso =
+        connected_components_parallel(csr_from_edges(EdgeList(5)));
+    EXPECT_EQ(iso.num_components(), 5u);
+    const ComponentsResult empty =
+        connected_components_parallel(csr_from_edges(EdgeList(0)));
+    EXPECT_EQ(empty.num_components(), 0u);
+}
+
+TEST(ParallelComponents, SingleThreadDegenerates) {
+    const CsrGraph g = test::two_cliques(7);
+    const ComponentsResult r = connected_components_parallel(g);
+    EXPECT_EQ(r.num_components(), 2u);
+    EXPECT_EQ(r.sizes[0], 7u);
+    EXPECT_EQ(r.sizes[1], 7u);
+}
+
+// ---------- st-connectivity ----------
+
+TEST(StConnectivity, PathEndpoints) {
+    const CsrGraph g = test::path_graph(20);
+    const StResult r = st_connectivity(g, 0, 19);
+    ASSERT_TRUE(r.connected);
+    EXPECT_EQ(r.distance, 19u);
+    ASSERT_EQ(r.path.size(), 20u);
+    EXPECT_EQ(r.path.front(), 0u);
+    EXPECT_EQ(r.path.back(), 19u);
+}
+
+TEST(StConnectivity, SameVertex) {
+    const CsrGraph g = test::path_graph(5);
+    const StResult r = st_connectivity(g, 2, 2);
+    EXPECT_TRUE(r.connected);
+    EXPECT_EQ(r.distance, 0u);
+    EXPECT_EQ(r.path, (std::vector<vertex_t>{2}));
+}
+
+TEST(StConnectivity, DisconnectedPair) {
+    const CsrGraph g = test::two_cliques(4);
+    const StResult r = st_connectivity(g, 0, 6);
+    EXPECT_FALSE(r.connected);
+    EXPECT_TRUE(r.path.empty());
+}
+
+TEST(StConnectivity, DistanceMatchesBfsOnRandomPairs) {
+    UniformParams params;
+    params.num_vertices = 2000;
+    params.degree = 4;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    for (const vertex_t s : {0u, 17u, 500u}) {
+        const BfsResult b = bfs(g, s, opts);
+        for (const vertex_t t : {1u, 999u, 1500u}) {
+            const StResult r = st_connectivity(g, s, t);
+            const bool reachable = b.level[t] != kInvalidLevel;
+            ASSERT_EQ(r.connected, reachable) << s << "->" << t;
+            if (reachable) {
+                ASSERT_EQ(r.distance, b.level[t]) << s << "->" << t;
+            }
+        }
+    }
+}
+
+TEST(StConnectivity, PathEdgesExist) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 8000;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const StResult r = st_connectivity(g, 0, 1);
+    if (!r.connected) GTEST_SKIP() << "0 and 1 in different components";
+    ASSERT_GE(r.path.size(), 2u);
+    EXPECT_EQ(r.path.front(), 0u);
+    EXPECT_EQ(r.path.back(), 1u);
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i)
+        ASSERT_TRUE(g.has_edge(r.path[i], r.path[i + 1]))
+            << r.path[i] << "-" << r.path[i + 1];
+    EXPECT_EQ(r.path.size(), r.distance + 1);
+}
+
+TEST(StConnectivity, ExpandsFewerVerticesThanFullBfs) {
+    UniformParams params;
+    params.num_vertices = 20000;
+    params.degree = 8;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    const StResult r = st_connectivity(g, 0, 12345);
+    ASSERT_TRUE(r.connected);
+    EXPECT_LT(r.vertices_expanded, g.num_vertices());
+}
+
+TEST(StConnectivity, OutOfRangeThrows) {
+    const CsrGraph g = test::path_graph(4);
+    EXPECT_THROW(st_connectivity(g, 0, 4), std::out_of_range);
+}
+
+// ---------- shortest path ----------
+
+TEST(ShortestPath, ExtractsRootToTarget) {
+    const CsrGraph g = test::path_graph(10);
+    const auto p = shortest_path(g, 0, 7);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_EQ(p->size(), 8u);
+    for (vertex_t i = 0; i < 8; ++i) EXPECT_EQ((*p)[i], i);
+}
+
+TEST(ShortestPath, UnreachableTargetIsNullopt) {
+    const CsrGraph g = test::two_cliques(3);
+    EXPECT_FALSE(shortest_path(g, 0, 5).has_value());
+}
+
+TEST(ShortestPath, ExtractPathValidatesInput) {
+    const CsrGraph g = test::path_graph(5);
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    BfsResult r = bfs(g, 0, opts);
+    EXPECT_THROW(extract_path(r, 99), std::out_of_range);
+    // Corrupt the chain into a cycle.
+    r.parent[1] = 2;
+    r.parent[2] = 1;
+    EXPECT_THROW(extract_path(r, 4), std::invalid_argument);
+}
+
+TEST(ShortestPath, WorksWithParallelEngine) {
+    UniformParams params;
+    params.num_vertices = 1000;
+    params.degree = 6;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    BfsOptions opts;
+    opts.engine = BfsEngine::kMultiSocket;
+    opts.threads = 4;
+    opts.topology = Topology::emulate(2, 2, 1);
+    const auto p = shortest_path(g, 0, 500, opts);
+    ASSERT_TRUE(p.has_value());
+    for (std::size_t i = 0; i + 1 < p->size(); ++i)
+        ASSERT_TRUE(g.has_edge((*p)[i], (*p)[i + 1]));
+}
+
+// ---------- level histogram ----------
+
+TEST(LevelHistogram, CountsPerLevel) {
+    const CsrGraph g = test::star_graph(10);
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    const BfsResult r = bfs(g, 0, opts);
+    const auto h = level_histogram(r);
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[1], 9u);
+}
+
+TEST(LevelHistogram, SkipsUnreached) {
+    const CsrGraph g = test::two_cliques(4);
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    const BfsResult r = bfs(g, 0, opts);
+    const auto h = level_histogram(r);
+    std::uint64_t total = 0;
+    for (const auto c : h) total += c;
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(LevelHistogram, RequiresLevels) {
+    const CsrGraph g = test::path_graph(3);
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    opts.compute_levels = false;
+    const BfsResult r = bfs(g, 0, opts);
+    EXPECT_THROW(level_histogram(r), std::invalid_argument);
+}
+
+TEST(LevelHistogram, RenderProducesOneLinePerLevel) {
+    const std::vector<std::uint64_t> h = {1, 5, 3};
+    const std::string s = render_level_histogram(h, 20);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+    EXPECT_NE(s.find("level 0"), std::string::npos);
+    EXPECT_NE(s.find("level 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sge

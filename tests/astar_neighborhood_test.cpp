@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "analytics/astar.hpp"
+#include "analytics/neighborhood.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/weighted.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+WeightedCsrGraph weighted_grid(std::uint32_t side, bool diagonal,
+                               weight_t min_w, weight_t max_w,
+                               std::uint64_t seed) {
+    GridParams params;
+    params.width = side;
+    params.height = side;
+    params.diagonal = diagonal;
+    return with_random_weights(csr_from_edges(generate_grid(params)), min_w,
+                               max_w, seed);
+}
+
+// ---------- A* ----------
+
+TEST(Astar, AdmissibleHeuristicGivesOptimalDistance) {
+    const std::uint32_t side = 40;
+    const WeightedCsrGraph g = weighted_grid(side, false, 1, 9, 3);
+    const vertex_t start = 0;
+    const vertex_t goal = side * side - 1;
+
+    const SsspResult exact = dijkstra(g, start);
+    const AstarResult r =
+        astar(g, start, goal, grid_manhattan_heuristic(side, goal, 1));
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.distance, exact.distance[goal]);
+    EXPECT_EQ(r.path.front(), start);
+    EXPECT_EQ(r.path.back(), goal);
+    // Path edges must exist and sum to the distance.
+    dist_t sum = 0;
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+        const auto adj = g.neighbors(r.path[i]);
+        const auto w = g.weights(r.path[i]);
+        bool found = false;
+        for (std::size_t e = 0; e < adj.size(); ++e) {
+            if (adj[e] == r.path[i + 1]) {
+                sum += w[e];
+                found = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(found);
+    }
+    EXPECT_EQ(sum, r.distance);
+}
+
+TEST(Astar, ChebyshevAdmissibleOnDiagonalGrid) {
+    const std::uint32_t side = 30;
+    const WeightedCsrGraph g = weighted_grid(side, true, 2, 11, 5);
+    const vertex_t goal = side * side - 1;
+    const SsspResult exact = dijkstra(g, 0);
+    const AstarResult r =
+        astar(g, 0, goal, grid_chebyshev_heuristic(side, goal, 2));
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.distance, exact.distance[goal]);
+}
+
+TEST(Astar, HeuristicPrunesExpansion) {
+    // Goal in the start's row: off-row detours strictly raise f, so A*
+    // expands a corridor while UCS floods a radius. (Corner-to-corner on
+    // a unit grid would NOT prune — every vertex then lies on an optimal
+    // monotone path and all f-values tie.)
+    const std::uint32_t side = 60;
+    const WeightedCsrGraph g = weighted_grid(side, false, 1, 1, 1);
+    const vertex_t goal = side - 1;  // (side-1, 0)
+
+    const AstarResult blind = uniform_cost_search(g, 0, goal);
+    const AstarResult guided =
+        astar(g, 0, goal, grid_manhattan_heuristic(side, goal, 1));
+    ASSERT_TRUE(blind.found);
+    ASSERT_TRUE(guided.found);
+    EXPECT_EQ(blind.distance, guided.distance);
+    EXPECT_EQ(guided.distance, side - 1);
+    EXPECT_LT(guided.vertices_expanded, blind.vertices_expanded / 4);
+}
+
+TEST(Astar, UnreachableGoal) {
+    const WeightedCsrGraph g =
+        with_random_weights(test::two_cliques(4), 1, 5, 2);
+    const AstarResult r = uniform_cost_search(g, 0, 6);
+    EXPECT_FALSE(r.found);
+    EXPECT_TRUE(r.path.empty());
+}
+
+TEST(Astar, StartEqualsGoal) {
+    const WeightedCsrGraph g = weighted_grid(4, false, 1, 3, 1);
+    const AstarResult r = uniform_cost_search(g, 5, 5);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.distance, 0u);
+    EXPECT_EQ(r.path, (std::vector<vertex_t>{5}));
+}
+
+TEST(Astar, OutOfRangeThrows) {
+    const WeightedCsrGraph g = weighted_grid(4, false, 1, 3, 1);
+    EXPECT_THROW(uniform_cost_search(g, 0, 16), std::out_of_range);
+}
+
+// ---------- neighbourhood function ----------
+
+NeighborhoodOptions exact_options() {
+    NeighborhoodOptions opts;
+    opts.sample_sources = 0xFFFFFFFF;  // clamped to n: exact
+    return opts;
+}
+
+TEST(Neighborhood, ExactOnPath) {
+    // Path of 5: N(0)=5, N(1)=5+2*4=13, ..., N(4)=25 (all pairs).
+    const CsrGraph g = test::path_graph(5);
+    const NeighborhoodFunction nf =
+        approximate_neighborhood_function(g, exact_options());
+    ASSERT_EQ(nf.pairs.size(), 5u);
+    EXPECT_DOUBLE_EQ(nf.pairs[0], 5.0);
+    EXPECT_DOUBLE_EQ(nf.pairs[1], 13.0);  // 5 self + 8 adjacent ordered
+    EXPECT_DOUBLE_EQ(nf.pairs[4], 25.0);
+}
+
+TEST(Neighborhood, StarSaturatesAtTwo) {
+    const CsrGraph g = test::star_graph(20);
+    const NeighborhoodFunction nf =
+        approximate_neighborhood_function(g, exact_options());
+    ASSERT_EQ(nf.pairs.size(), 3u);
+    EXPECT_DOUBLE_EQ(nf.pairs.back(), 400.0);  // all ordered pairs
+    EXPECT_LE(nf.effective_diameter(0.9), 2.0);
+    EXPECT_GT(nf.effective_diameter(0.9), 0.0);
+}
+
+TEST(Neighborhood, EffectiveDiameterOfPathNearItsLength) {
+    const CsrGraph g = test::path_graph(100);
+    const NeighborhoodFunction nf =
+        approximate_neighborhood_function(g, exact_options());
+    const double ed = nf.effective_diameter(0.9);
+    EXPECT_GT(ed, 50.0);
+    EXPECT_LT(ed, 99.0);
+}
+
+TEST(Neighborhood, SampledEstimateTracksExact) {
+    RmatParams params;
+    params.scale = 11;
+    params.num_edges = 1 << 14;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+
+    const NeighborhoodFunction exact =
+        approximate_neighborhood_function(g, exact_options());
+    NeighborhoodOptions sampled;
+    sampled.sample_sources = 128;
+    sampled.seed = 7;
+    sampled.threads = 4;
+    sampled.topology = Topology::emulate(1, 4, 1);
+    const NeighborhoodFunction approx =
+        approximate_neighborhood_function(g, sampled);
+
+    // Final pair counts within 15% and effective diameters within 1 hop.
+    EXPECT_NEAR(approx.pairs.back() / exact.pairs.back(), 1.0, 0.15);
+    EXPECT_NEAR(approx.effective_diameter(), exact.effective_diameter(), 1.0);
+}
+
+TEST(Neighborhood, RejectsBadQuantile) {
+    NeighborhoodFunction nf;
+    nf.pairs = {1.0, 2.0};
+    EXPECT_THROW((void)nf.effective_diameter(0.0), std::invalid_argument);
+    EXPECT_THROW((void)nf.effective_diameter(1.5), std::invalid_argument);
+}
+
+TEST(Neighborhood, EmptyGraph) {
+    const NeighborhoodFunction nf =
+        approximate_neighborhood_function(csr_from_edges(EdgeList(0)));
+    EXPECT_TRUE(nf.pairs.empty());
+    EXPECT_DOUBLE_EQ(nf.effective_diameter(), 0.0);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "concurrency/atomic_bitmap.hpp"
+
+namespace sge {
+namespace {
+
+TEST(AtomicBitmap, StartsCleared) {
+    AtomicBitmap bm(1000);
+    EXPECT_EQ(bm.size_bits(), 1000u);
+    for (std::size_t i = 0; i < 1000; ++i) ASSERT_FALSE(bm.test(i));
+    EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(AtomicBitmap, TestAndSetReturnsPrevious) {
+    AtomicBitmap bm(128);
+    EXPECT_FALSE(bm.test_and_set(5));
+    EXPECT_TRUE(bm.test(5));
+    EXPECT_TRUE(bm.test_and_set(5));
+    EXPECT_EQ(bm.count(), 1u);
+}
+
+TEST(AtomicBitmap, BitsAreIndependent) {
+    AtomicBitmap bm(256);
+    // Set bits straddling word boundaries.
+    for (const std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 255u})
+        bm.test_and_set(i);
+    for (std::size_t i = 0; i < 256; ++i) {
+        const bool expected = i == 0 || i == 63 || i == 64 || i == 65 ||
+                              i == 127 || i == 128 || i == 255;
+        ASSERT_EQ(bm.test(i), expected) << "bit " << i;
+    }
+    EXPECT_EQ(bm.count(), 7u);
+}
+
+TEST(AtomicBitmap, ClearAllResets) {
+    AtomicBitmap bm(100);
+    for (std::size_t i = 0; i < 100; i += 3) bm.test_and_set(i);
+    bm.clear_all();
+    EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(AtomicBitmap, NonWordMultipleSize) {
+    AtomicBitmap bm(67);  // straddles into a second word
+    bm.test_and_set(66);
+    EXPECT_TRUE(bm.test(66));
+    EXPECT_EQ(bm.count(), 1u);
+}
+
+TEST(AtomicBitmap, SizeBytesRoundsToWords) {
+    EXPECT_EQ(AtomicBitmap(1).size_bytes(), 8u);
+    EXPECT_EQ(AtomicBitmap(64).size_bytes(), 8u);
+    EXPECT_EQ(AtomicBitmap(65).size_bytes(), 16u);
+}
+
+TEST(AtomicBitmap, ExactlyOneWinnerPerBitUnderContention) {
+    // The BFS correctness hinge: when many threads race test_and_set on
+    // the same vertex, exactly one sees "previously clear".
+    constexpr std::size_t kBits = 4096;
+    constexpr int kThreads = 8;
+    AtomicBitmap bm(kBits);
+    std::atomic<std::uint64_t> wins{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            std::uint64_t local = 0;
+            for (std::size_t i = 0; i < kBits; ++i)
+                if (!bm.test_and_set(i)) ++local;
+            wins.fetch_add(local);
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(wins.load(), kBits);
+    EXPECT_EQ(bm.count(), kBits);
+}
+
+TEST(AtomicBitmap, MoveTransfersState) {
+    AtomicBitmap a(64);
+    a.test_and_set(10);
+    AtomicBitmap b(std::move(a));
+    EXPECT_TRUE(b.test(10));
+    EXPECT_EQ(b.size_bits(), 64u);
+}
+
+}  // namespace
+}  // namespace sge

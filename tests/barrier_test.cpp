@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "concurrency/spin_barrier.hpp"
+
+namespace sge {
+namespace {
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+    SpinBarrier barrier(1);
+    for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+    EXPECT_EQ(barrier.parties(), 1);
+}
+
+TEST(SpinBarrier, PhasesDoNotOverlap) {
+    constexpr int kThreads = 8;
+    constexpr int kPhases = 200;
+    SpinBarrier barrier(kThreads);
+    std::atomic<int> in_phase[kPhases] = {};
+    std::atomic<bool> violated{false};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int p = 0; p < kPhases; ++p) {
+                in_phase[p].fetch_add(1);
+                barrier.arrive_and_wait();
+                // After the barrier, every thread must have entered
+                // phase p — if not, someone raced ahead a full phase.
+                if (in_phase[p].load() != kThreads) violated.store(true);
+                barrier.arrive_and_wait();
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(violated.load());
+}
+
+TEST(SpinBarrier, ProvidesHappensBefore) {
+    // Writes before the barrier must be visible after it without any
+    // extra synchronisation — the BFS engines depend on this for the
+    // plain (non-atomic) parent/level stores.
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 500;
+    SpinBarrier barrier(kThreads);
+    int data[kThreads] = {};  // deliberately non-atomic
+    std::atomic<bool> ok{true};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int r = 0; r < kRounds; ++r) {
+                data[t] = r + 1;
+                barrier.arrive_and_wait();
+                for (int u = 0; u < kThreads; ++u)
+                    if (data[u] != r + 1) ok.store(false);
+                barrier.arrive_and_wait();
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/rmat.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+std::uint64_t total_scanned(const BfsResult& r) {
+    std::uint64_t total = 0;
+    for (const auto& s : r.level_stats) total += s.edges_scanned;
+    return total;
+}
+
+CsrGraph dense_uniform() {
+    UniformParams params;
+    params.num_vertices = 8192;
+    params.degree = 16;
+    params.seed = 4;
+    return csr_from_edges(generate_uniform(params));
+}
+
+BfsOptions hybrid_options(int threads = 4) {
+    BfsOptions opts;
+    opts.engine = BfsEngine::kHybrid;
+    opts.threads = threads;
+    opts.topology = Topology::emulate(1, threads, 1);
+    opts.collect_stats = true;
+    return opts;
+}
+
+TEST(BfsHybrid, BottomUpSkipsMostEdgeWork) {
+    // On a dense low-diameter graph the explosive middle levels run
+    // bottom-up and stop at the first frontier parent: total scanned
+    // edges must come out well below the top-down engine's (which scans
+    // every edge of every visited vertex).
+    const CsrGraph g = dense_uniform();
+
+    BfsOptions bitmap = hybrid_options();
+    bitmap.engine = BfsEngine::kBitmap;
+    const BfsResult top_down = bfs(g, 0, bitmap);
+
+    const BfsResult hybrid = bfs(g, 0, hybrid_options());
+    EXPECT_TRUE(validate_bfs_tree(g, 0, hybrid).ok);
+    EXPECT_EQ(hybrid.vertices_visited, top_down.vertices_visited);
+    EXPECT_LT(total_scanned(hybrid), total_scanned(top_down) / 2)
+        << "direction optimization saved no work";
+    // The rate convention stays comparable.
+    EXPECT_EQ(hybrid.edges_traversed, top_down.edges_traversed);
+}
+
+TEST(BfsHybrid, TinyAlphaDegeneratesToTopDown) {
+    // The flip condition is next_frontier_degree > unexplored/alpha, so
+    // alpha -> 0 drives the threshold to infinity: pure top-down.
+    const CsrGraph g = dense_uniform();
+    BfsOptions opts = hybrid_options();
+    opts.hybrid_alpha = 1e-18;
+    const BfsResult r = bfs(g, 0, opts);
+
+    BfsOptions bitmap = hybrid_options();
+    bitmap.engine = BfsEngine::kBitmap;
+    const BfsResult top_down = bfs(g, 0, bitmap);
+
+    EXPECT_EQ(total_scanned(r), total_scanned(top_down));
+    test::expect_equivalent(top_down, r);
+}
+
+TEST(BfsHybrid, HighDiameterGraphStaysTopDown) {
+    // A path's frontier is one vertex wide — below the n/beta width
+    // guard — so the traversal never leaves top-down and scans each arc
+    // exactly once. (Without the guard, the drained unexplored-edge
+    // pool would trigger useless O(n) bottom-up sweeps near the tail.)
+    const CsrGraph g = test::path_graph(2000);
+    const BfsResult r = bfs(g, 0, hybrid_options());
+    EXPECT_TRUE(validate_bfs_tree(g, 0, r).ok);
+    EXPECT_EQ(r.num_levels, 2000u);
+    EXPECT_EQ(total_scanned(r), 2u * 1999);
+}
+
+TEST(BfsHybrid, TinyAlphaOnPathScansEachArcOnce) {
+    const CsrGraph g = test::path_graph(2000);
+    BfsOptions opts = hybrid_options();
+    opts.hybrid_alpha = 1e-18;  // pin top-down
+    const BfsResult r = bfs(g, 0, opts);
+    EXPECT_EQ(total_scanned(r), 2u * 1999);
+}
+
+TEST(BfsHybrid, AggressiveAlphaStillCorrect) {
+    const CsrGraph g = dense_uniform();
+    BfsOptions opts = hybrid_options();
+    opts.hybrid_alpha = 1e18;  // flip to bottom-up immediately
+    opts.hybrid_beta = 1e18;   // and never flip back (threshold n/beta -> 0)
+    const BfsResult r = bfs(g, 0, opts);
+    EXPECT_TRUE(validate_bfs_tree(g, 0, r).ok);
+
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    test::expect_equivalent(bfs(g, 0, serial), r);
+}
+
+TEST(BfsHybrid, RmatFromHubAndFromLeaf) {
+    RmatParams params;
+    params.scale = 13;
+    params.num_edges = 1 << 17;
+    params.seed = 6;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+
+    // Hub-ish root (id 0 pre-permutation is the heaviest quadrant) and
+    // an arbitrary low-degree root.
+    for (const vertex_t root : {vertex_t{0}, vertex_t{4099}}) {
+        if (g.degree(root) == 0) continue;
+        const BfsResult r = bfs(g, root, hybrid_options(8));
+        EXPECT_TRUE(validate_bfs_tree(g, root, r).ok);
+        test::expect_equivalent(bfs(g, root, serial), r);
+    }
+}
+
+TEST(BfsHybrid, DisconnectedGraph) {
+    const CsrGraph g = test::two_cliques(32);
+    const BfsResult r = bfs(g, 5, hybrid_options());
+    EXPECT_EQ(r.vertices_visited, 32u);
+    EXPECT_TRUE(validate_bfs_tree(g, 5, r).ok);
+}
+
+TEST(BfsHybrid, RepeatedRunsAgree) {
+    const CsrGraph g = dense_uniform();
+    BfsRunner runner(hybrid_options(8));
+    const BfsResult first = runner.run(g, 9);
+    for (int i = 0; i < 3; ++i)
+        test::expect_equivalent(first, runner.run(g, 9));
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+using test::cycle_graph;
+using test::path_graph;
+using test::star_graph;
+using test::two_cliques;
+
+BfsOptions serial_options() {
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    return opts;
+}
+
+TEST(BfsSerial, PathGraphLevels) {
+    const CsrGraph g = path_graph(10);
+    const BfsResult r = bfs(g, 0, serial_options());
+    EXPECT_EQ(r.vertices_visited, 10u);
+    EXPECT_EQ(r.num_levels, 10u);
+    for (vertex_t v = 0; v < 10; ++v) {
+        EXPECT_EQ(r.level[v], v);
+        EXPECT_EQ(r.parent[v], v == 0 ? 0u : v - 1);
+    }
+    EXPECT_EQ(r.edges_traversed, g.num_edges());
+}
+
+TEST(BfsSerial, PathGraphFromMiddle) {
+    const CsrGraph g = path_graph(11);
+    const BfsResult r = bfs(g, 5, serial_options());
+    EXPECT_EQ(r.vertices_visited, 11u);
+    EXPECT_EQ(r.num_levels, 6u);  // levels 0..5
+    EXPECT_EQ(r.level[0], 5u);
+    EXPECT_EQ(r.level[10], 5u);
+    EXPECT_EQ(r.level[5], 0u);
+}
+
+TEST(BfsSerial, StarGraphTwoLevels) {
+    const CsrGraph g = star_graph(100);
+    const BfsResult r = bfs(g, 0, serial_options());
+    EXPECT_EQ(r.num_levels, 2u);
+    EXPECT_EQ(r.vertices_visited, 100u);
+    for (vertex_t v = 1; v < 100; ++v) {
+        EXPECT_EQ(r.level[v], 1u);
+        EXPECT_EQ(r.parent[v], 0u);
+    }
+}
+
+TEST(BfsSerial, StarGraphFromLeaf) {
+    const CsrGraph g = star_graph(100);
+    const BfsResult r = bfs(g, 42, serial_options());
+    EXPECT_EQ(r.num_levels, 3u);
+    EXPECT_EQ(r.level[0], 1u);
+    EXPECT_EQ(r.level[7], 2u);
+}
+
+TEST(BfsSerial, CycleGraphDiameter) {
+    const CsrGraph g = cycle_graph(12);
+    const BfsResult r = bfs(g, 0, serial_options());
+    EXPECT_EQ(r.vertices_visited, 12u);
+    EXPECT_EQ(r.num_levels, 7u);  // 0..6
+    EXPECT_EQ(r.level[6], 6u);    // antipode
+    EXPECT_EQ(r.level[11], 1u);
+}
+
+TEST(BfsSerial, DisconnectedComponentsStayUnreached) {
+    const CsrGraph g = two_cliques(5);
+    const BfsResult r = bfs(g, 0, serial_options());
+    EXPECT_EQ(r.vertices_visited, 5u);
+    for (vertex_t v = 5; v < 10; ++v) {
+        EXPECT_EQ(r.parent[v], kInvalidVertex);
+        EXPECT_EQ(r.level[v], kInvalidLevel);
+    }
+    // edges_traversed counts only the reached clique's arcs.
+    EXPECT_EQ(r.edges_traversed, 20u);  // K5: 10 undirected = 20 arcs
+}
+
+TEST(BfsSerial, IsolatedRoot) {
+    const CsrGraph g = csr_from_edges(EdgeList(5));
+    const BfsResult r = bfs(g, 3, serial_options());
+    EXPECT_EQ(r.vertices_visited, 1u);
+    EXPECT_EQ(r.num_levels, 1u);
+    EXPECT_EQ(r.parent[3], 3u);
+    EXPECT_EQ(r.edges_traversed, 0u);
+}
+
+TEST(BfsSerial, SingleVertexGraph) {
+    const CsrGraph g = csr_from_edges(EdgeList(1));
+    const BfsResult r = bfs(g, 0, serial_options());
+    EXPECT_EQ(r.vertices_visited, 1u);
+    EXPECT_EQ(r.level[0], 0u);
+}
+
+TEST(BfsSerial, InvalidRootThrows) {
+    const CsrGraph g = path_graph(5);
+    EXPECT_THROW(bfs(g, 5, serial_options()), std::out_of_range);
+    EXPECT_THROW(bfs(g, kInvalidVertex, serial_options()), std::out_of_range);
+}
+
+TEST(BfsSerial, LevelsCanBeDisabled) {
+    BfsOptions opts = serial_options();
+    opts.compute_levels = false;
+    const BfsResult r = bfs(path_graph(5), 0, opts);
+    EXPECT_TRUE(r.level.empty());
+    EXPECT_EQ(r.vertices_visited, 5u);
+}
+
+TEST(BfsSerial, StatsPerLevel) {
+    BfsOptions opts = serial_options();
+    opts.collect_stats = true;
+    const CsrGraph g = star_graph(50);
+    const BfsResult r = bfs(g, 0, opts);
+    ASSERT_EQ(r.level_stats.size(), 2u);
+    EXPECT_EQ(r.level_stats[0].frontier_size, 1u);
+    EXPECT_EQ(r.level_stats[0].edges_scanned, 49u);
+    EXPECT_EQ(r.level_stats[1].frontier_size, 49u);
+    EXPECT_EQ(r.level_stats[1].edges_scanned, 49u);  // each leaf sees the hub
+}
+
+TEST(BfsSerial, ValidatorAcceptsResult) {
+    const CsrGraph g = two_cliques(8);
+    const BfsResult r = bfs(g, 2, serial_options());
+    const ValidationReport report = validate_bfs_tree(g, 2, r);
+    EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(BfsSerial, EdgesPerSecondIsFinite) {
+    const BfsResult r = bfs(star_graph(1000), 0, serial_options());
+    EXPECT_GT(r.edges_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "analytics/betweenness.hpp"
+#include "analytics/closeness.hpp"
+#include "core/bfs.hpp"
+#include "core/msbfs.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+BetweennessOptions unnormalized() {
+    BetweennessOptions opts;
+    opts.normalize = false;
+    return opts;
+}
+
+// ---------- Brandes betweenness ----------
+
+TEST(Betweenness, PathGraphExactScores) {
+    // Path 0-1-2-3-4: interior vertices carry {3, 4, 3} pair paths.
+    const CsrGraph g = test::path_graph(5);
+    const auto bc = betweenness_centrality(g, unnormalized());
+    ASSERT_EQ(bc.size(), 5u);
+    EXPECT_DOUBLE_EQ(bc[0], 0.0);
+    EXPECT_DOUBLE_EQ(bc[1], 3.0);
+    EXPECT_DOUBLE_EQ(bc[2], 4.0);
+    EXPECT_DOUBLE_EQ(bc[3], 3.0);
+    EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+    const CsrGraph g = test::star_graph(20);
+    const auto bc = betweenness_centrality(g, unnormalized());
+    EXPECT_DOUBLE_EQ(bc[0], 19.0 * 18.0 / 2.0);
+    for (vertex_t v = 1; v < 20; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, CycleIsUniform) {
+    const CsrGraph g = test::cycle_graph(5);
+    const auto bc = betweenness_centrality(g, unnormalized());
+    for (vertex_t v = 0; v < 5; ++v) EXPECT_NEAR(bc[v], 1.0, 1e-12);
+}
+
+TEST(Betweenness, NormalizationScales) {
+    const CsrGraph g = test::star_graph(20);
+    BetweennessOptions opts;
+    opts.normalize = true;
+    const auto bc = betweenness_centrality(g, opts);
+    EXPECT_NEAR(bc[0], 1.0, 1e-12);  // the star centre is maximal
+}
+
+TEST(Betweenness, ParallelMatchesSerial) {
+    UniformParams params;
+    params.num_vertices = 400;
+    params.degree = 5;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+
+    const auto serial = betweenness_centrality(g, unnormalized());
+    BetweennessOptions par = unnormalized();
+    par.threads = 4;
+    par.topology = Topology::emulate(2, 2, 1);
+    const auto parallel = betweenness_centrality(g, par);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_NEAR(serial[v], parallel[v], 1e-6 + serial[v] * 1e-9)
+            << "vertex " << v;
+}
+
+TEST(Betweenness, SampledEstimatorTracksExact) {
+    // The star's contrast is extreme enough that even a small sample
+    // must rank the centre far above every leaf.
+    const CsrGraph g = test::star_graph(200);
+    BetweennessOptions opts = unnormalized();
+    opts.sample_sources = 20;
+    opts.seed = 3;
+    const auto bc = betweenness_centrality(g, opts);
+    for (vertex_t v = 1; v < 200; ++v) ASSERT_GT(bc[0], 100.0 * (bc[v] + 1.0));
+}
+
+TEST(Betweenness, DisconnectedComponentsScoreIndependently) {
+    const CsrGraph g = test::two_cliques(4);  // cliques: all distances 1
+    const auto bc = betweenness_centrality(g, unnormalized());
+    for (vertex_t v = 0; v < 8; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, EmptyGraph) {
+    EXPECT_TRUE(betweenness_centrality(csr_from_edges(EdgeList(0))).empty());
+}
+
+// ---------- MS-BFS ----------
+
+TEST(MsBfs, SingleSourceMatchesBfsLevels) {
+    UniformParams params;
+    params.num_vertices = 1000;
+    params.degree = 4;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+
+    std::vector<level_t> levels(g.num_vertices(), kInvalidLevel);
+    const vertex_t sources[] = {17};
+    multi_source_bfs(g, sources,
+                     [&](int, level_t level, vertex_t v, std::uint64_t mask) {
+                         ASSERT_EQ(mask, 1u);
+                         levels[v] = level;
+                     });
+
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    const BfsResult r = bfs(g, 17, serial);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(levels[v], r.level[v]) << "vertex " << v;
+}
+
+TEST(MsBfs, SixtyFourLanesMatchIndividualTraversals) {
+    UniformParams params;
+    params.num_vertices = 2000;
+    params.degree = 6;
+    params.seed = 8;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+
+    std::vector<vertex_t> sources;
+    for (vertex_t s = 0; s < 64; ++s) sources.push_back(s * 31 % 2000);
+    // Ensure distinct (31 and 2000 are coprime, so they are).
+
+    // lane-major level matrix from MS-BFS.
+    std::vector<std::vector<level_t>> ms(64,
+        std::vector<level_t>(g.num_vertices(), kInvalidLevel));
+    std::mutex mu;  // serialize: test clarity over speed
+    multi_source_bfs(
+        g, sources,
+        [&](int, level_t level, vertex_t v, std::uint64_t mask) {
+            std::lock_guard lock(mu);
+            while (mask) {
+                const int lane = __builtin_ctzll(mask);
+                mask &= mask - 1;
+                ms[static_cast<std::size_t>(lane)][v] = level;
+            }
+        },
+        {.threads = 4, .topology = Topology::emulate(1, 4, 1)});
+
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    for (std::size_t lane = 0; lane < sources.size(); ++lane) {
+        const BfsResult r = bfs(g, sources[lane], serial);
+        for (vertex_t v = 0; v < g.num_vertices(); ++v)
+            ASSERT_EQ(ms[lane][v], r.level[v])
+                << "lane " << lane << " vertex " << v;
+    }
+}
+
+TEST(MsBfs, RejectsBadBatches) {
+    const CsrGraph g = test::path_graph(10);
+    const auto visit = [](int, level_t, vertex_t, std::uint64_t) {};
+    EXPECT_THROW(multi_source_bfs(g, {}, visit), std::invalid_argument);
+    std::vector<vertex_t> too_many(65, 1);
+    EXPECT_THROW(multi_source_bfs(g, too_many, visit), std::invalid_argument);
+    const vertex_t dup[] = {3, 3};
+    EXPECT_THROW(multi_source_bfs(g, dup, visit), std::invalid_argument);
+    const vertex_t oob[] = {10};
+    EXPECT_THROW(multi_source_bfs(g, oob, visit), std::out_of_range);
+}
+
+TEST(MsBfs, SharedFrontiersVisitEachVertexOncePerLane) {
+    const CsrGraph g = test::two_cliques(10);
+    const vertex_t sources[] = {0, 1, 10};  // two lanes left, one right
+    std::map<std::pair<vertex_t, int>, int> seen;
+    std::mutex mu;
+    multi_source_bfs(g, sources,
+                     [&](int, level_t, vertex_t v, std::uint64_t mask) {
+                         std::lock_guard lock(mu);
+                         while (mask) {
+                             const int lane = __builtin_ctzll(mask);
+                             mask &= mask - 1;
+                             ++seen[{v, lane}];
+                         }
+                     });
+    // Lanes 0,1 cover clique A (10 vertices each); lane 2 covers B.
+    EXPECT_EQ(seen.size(), 30u);
+    for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+}
+
+// ---------- closeness ----------
+
+TEST(Closeness, PathEndpointsAndMiddle) {
+    const CsrGraph g = test::path_graph(5);
+    const std::vector<vertex_t> sources = {0, 2};
+    const auto scores = closeness_centrality(g, sources);
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_EQ(scores[0].vertex, 0u);
+    EXPECT_EQ(scores[0].reachable, 5u);
+    EXPECT_EQ(scores[0].distance_sum, 10u);  // 1+2+3+4
+    EXPECT_DOUBLE_EQ(scores[0].closeness(), 0.4);
+    EXPECT_EQ(scores[1].distance_sum, 6u);  // 2+1+1+2
+    EXPECT_GT(scores[1].closeness(), scores[0].closeness());
+}
+
+TEST(Closeness, StarCenterIsPerfect) {
+    const CsrGraph g = test::star_graph(30);
+    const std::vector<vertex_t> sources = {0};
+    const auto scores = closeness_centrality(g, sources);
+    EXPECT_DOUBLE_EQ(scores[0].closeness(), 1.0);
+    EXPECT_DOUBLE_EQ(scores[0].lin_index(30), 1.0);
+}
+
+TEST(Closeness, ComponentLocalReachability) {
+    const CsrGraph g = test::two_cliques(6);
+    const std::vector<vertex_t> sources = {0, 7};
+    const auto scores = closeness_centrality(g, sources);
+    EXPECT_EQ(scores[0].reachable, 6u);
+    EXPECT_EQ(scores[1].reachable, 6u);
+    EXPECT_DOUBLE_EQ(scores[0].closeness(), 1.0);  // clique: all at dist 1
+}
+
+TEST(Closeness, BatchesBeyondSixtyFourSources) {
+    UniformParams params;
+    params.num_vertices = 500;
+    params.degree = 5;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    std::vector<vertex_t> sources;
+    for (vertex_t v = 0; v < 150; ++v) sources.push_back(v);
+
+    ClosenessOptions opts;
+    opts.threads = 3;
+    opts.topology = Topology::emulate(1, 3, 1);
+    const auto scores = closeness_centrality(g, sources, opts);
+    ASSERT_EQ(scores.size(), 150u);
+
+    // Spot-check a few against a plain BFS.
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    for (const std::size_t i : {0u, 64u, 149u}) {
+        const BfsResult r = bfs(g, sources[i], serial);
+        std::uint64_t sum = 0;
+        std::uint64_t reach = 0;
+        for (const level_t l : r.level) {
+            if (l == kInvalidLevel) continue;
+            sum += l;
+            ++reach;
+        }
+        EXPECT_EQ(scores[i].distance_sum, sum) << "source " << i;
+        EXPECT_EQ(scores[i].reachable, reach) << "source " << i;
+    }
+}
+
+TEST(Closeness, DuplicateSourcesScoredIndependently) {
+    const CsrGraph g = test::path_graph(6);
+    const std::vector<vertex_t> sources = {2, 2, 2};
+    const auto scores = closeness_centrality(g, sources);
+    ASSERT_EQ(scores.size(), 3u);
+    for (const auto& s : scores) {
+        EXPECT_EQ(s.vertex, 2u);
+        EXPECT_EQ(s.distance_sum, scores[0].distance_sum);
+    }
+}
+
+TEST(Closeness, IsolatedSourceScoresZero) {
+    const CsrGraph g = csr_from_edges(EdgeList(4));
+    const std::vector<vertex_t> sources = {1};
+    const auto scores = closeness_centrality(g, sources);
+    EXPECT_EQ(scores[0].reachable, 1u);
+    EXPECT_DOUBLE_EQ(scores[0].closeness(), 0.0);
+    EXPECT_DOUBLE_EQ(scores[0].lin_index(4), 0.0);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sge {
+namespace {
+
+EdgeList triangle_plus_tail() {
+    // 0-1, 1-2, 2-0 triangle; 2-3 tail; 4 isolated.
+    EdgeList edges(5);
+    edges.add(0, 1);
+    edges.add(1, 2);
+    edges.add(2, 0);
+    edges.add(2, 3);
+    return edges;
+}
+
+TEST(CsrBuilder, UndirectedDefaultSymmetrizes) {
+    const CsrGraph g = csr_from_edges(triangle_plus_tail());
+    EXPECT_EQ(g.num_vertices(), 5u);
+    EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges -> 8 arcs
+    EXPECT_TRUE(g.well_formed());
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_TRUE(g.has_edge(3, 2));
+    EXPECT_FALSE(g.has_edge(0, 3));
+    EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(CsrBuilder, DirectedMode) {
+    BuildOptions opts;
+    opts.make_undirected = false;
+    const CsrGraph g = csr_from_edges(triangle_plus_tail(), opts);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(CsrBuilder, RemovesSelfLoops) {
+    EdgeList edges(3);
+    edges.add(0, 0);
+    edges.add(0, 1);
+    edges.add(2, 2);
+    const CsrGraph g = csr_from_edges(edges);
+    EXPECT_EQ(g.num_edges(), 2u);  // only 0-1 symmetrized
+    EXPECT_FALSE(g.has_edge(0, 0));
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(CsrBuilder, KeepsSelfLoopsWhenAsked) {
+    EdgeList edges(2);
+    edges.add(0, 0);
+    BuildOptions opts;
+    opts.remove_self_loops = false;
+    opts.make_undirected = false;
+    const CsrGraph g = csr_from_edges(edges, opts);
+    EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(CsrBuilder, DeduplicatesParallelEdges) {
+    EdgeList edges(2);
+    for (int i = 0; i < 5; ++i) edges.add(0, 1);
+    const CsrGraph g = csr_from_edges(edges);
+    EXPECT_EQ(g.num_edges(), 2u);  // one arc each way
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(CsrBuilder, KeepsParallelEdgesWhenAsked) {
+    EdgeList edges(2);
+    for (int i = 0; i < 5; ++i) edges.add(0, 1);
+    BuildOptions opts;
+    opts.deduplicate = false;
+    opts.make_undirected = false;
+    const CsrGraph g = csr_from_edges(edges, opts);
+    EXPECT_EQ(g.num_edges(), 5u);
+    EXPECT_EQ(g.degree(0), 5u);
+}
+
+TEST(CsrBuilder, NeighborsAreSorted) {
+    EdgeList edges(6);
+    edges.add(0, 5);
+    edges.add(0, 2);
+    edges.add(0, 4);
+    edges.add(0, 1);
+    BuildOptions opts;
+    opts.make_undirected = false;
+    const CsrGraph g = csr_from_edges(edges, opts);
+    const auto adj = g.neighbors(0);
+    const std::vector<vertex_t> got(adj.begin(), adj.end());
+    EXPECT_EQ(got, (std::vector<vertex_t>{1, 2, 4, 5}));
+}
+
+TEST(CsrBuilder, RejectsOutOfRangeEndpoints) {
+    EdgeList edges(2);
+    edges.add(0, 7);
+    EXPECT_THROW(csr_from_edges(edges), std::out_of_range);
+}
+
+TEST(CsrBuilder, EmptyGraph) {
+    const CsrGraph g = csr_from_edges(EdgeList(0));
+    EXPECT_EQ(g.num_vertices(), 0u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_TRUE(g.well_formed());
+}
+
+TEST(CsrBuilder, VerticesWithoutEdges) {
+    const CsrGraph g = csr_from_edges(EdgeList(100));
+    EXPECT_EQ(g.num_vertices(), 100u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    for (vertex_t v = 0; v < 100; ++v) ASSERT_EQ(g.degree(v), 0u);
+}
+
+TEST(CsrBuilder, RoundTripThroughEdgeList) {
+    const CsrGraph g = csr_from_edges(triangle_plus_tail());
+    const EdgeList extracted = edges_from_csr(g);
+    BuildOptions opts;
+    opts.make_undirected = false;  // already symmetric
+    const CsrGraph g2 = csr_from_edges(extracted, opts);
+    EXPECT_TRUE(g == g2);
+}
+
+TEST(CsrGraph, WellFormedRejectsBrokenOffsets) {
+    AlignedBuffer<edge_offset_t> offsets(3);
+    offsets[0] = 0;
+    offsets[1] = 5;  // exceeds target count
+    offsets[2] = 2;  // non-monotone
+    AlignedBuffer<vertex_t> targets(2);
+    targets[0] = 0;
+    targets[1] = 1;
+    const CsrGraph g(std::move(offsets), std::move(targets));
+    EXPECT_FALSE(g.well_formed());
+}
+
+TEST(CsrGraph, WellFormedRejectsOutOfRangeTargets) {
+    AlignedBuffer<edge_offset_t> offsets(2);
+    offsets[0] = 0;
+    offsets[1] = 1;
+    AlignedBuffer<vertex_t> targets(1);
+    targets[0] = 99;
+    const CsrGraph g(std::move(offsets), std::move(targets));
+    EXPECT_FALSE(g.well_formed());
+}
+
+TEST(CsrGraph, MemoryBytesAccountsBothArrays) {
+    const CsrGraph g = csr_from_edges(triangle_plus_tail());
+    EXPECT_EQ(g.memory_bytes(),
+              6 * sizeof(edge_offset_t) + 8 * sizeof(vertex_t));
+}
+
+TEST(DegreeStats, SummarizesDistribution) {
+    const CsrGraph g = csr_from_edges(triangle_plus_tail());
+    const DegreeStats stats = compute_degree_stats(g);
+    EXPECT_EQ(stats.min_degree, 0u);   // vertex 4
+    EXPECT_EQ(stats.max_degree, 3u);   // vertex 2
+    EXPECT_DOUBLE_EQ(stats.mean_degree, 8.0 / 5.0);
+    EXPECT_EQ(stats.isolated_vertices, 1u);
+    EXPECT_FALSE(stats.describe().empty());
+}
+
+}  // namespace
+}  // namespace sge

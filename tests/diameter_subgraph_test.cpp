@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analytics/connected_components.hpp"
+#include "analytics/diameter.hpp"
+#include "gen/small_world.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "graph/subgraph.hpp"
+#include "runtime/stats.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+// ---------- diameter estimation ----------
+
+BfsOptions serial_opts() {
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    return opts;
+}
+
+TEST(Diameter, ExactOnPath) {
+    const CsrGraph g = test::path_graph(100);
+    const DiameterEstimate d = estimate_diameter(g, 50, serial_opts());
+    EXPECT_EQ(d.lower_bound, 99u);  // double sweep is exact on trees
+    EXPECT_GE(d.upper_bound, 99u);
+    // The peripheral vertex must be one of the path's endpoints.
+    EXPECT_TRUE(d.peripheral_vertex == 0 || d.peripheral_vertex == 99);
+}
+
+TEST(Diameter, ExactOnStar) {
+    const CsrGraph g = test::star_graph(50);
+    const DiameterEstimate d = estimate_diameter(g, 0, serial_opts());
+    EXPECT_EQ(d.lower_bound, 2u);
+    EXPECT_LE(d.sweeps, 3u);
+}
+
+TEST(Diameter, CycleLowerBoundIsHalf) {
+    const CsrGraph g = test::cycle_graph(30);
+    const DiameterEstimate d = estimate_diameter(g, 3, serial_opts());
+    EXPECT_EQ(d.lower_bound, 15u);  // every vertex has eccentricity n/2
+}
+
+TEST(Diameter, BoundsAreOrdered) {
+    UniformParams params;
+    params.num_vertices = 3000;
+    params.degree = 4;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    const DiameterEstimate d = estimate_diameter(g, 0, serial_opts());
+    EXPECT_GT(d.lower_bound, 0u);
+    EXPECT_LE(d.lower_bound, d.upper_bound);
+    EXPECT_LE(d.upper_bound, 2 * d.lower_bound);
+}
+
+TEST(Diameter, WorksWithParallelEngine) {
+    const CsrGraph g = test::path_graph(200);
+    BfsOptions opts;
+    opts.engine = BfsEngine::kMultiSocket;
+    opts.threads = 4;
+    opts.topology = Topology::emulate(2, 2, 1);
+    const DiameterEstimate d = estimate_diameter(g, 100, opts);
+    EXPECT_EQ(d.lower_bound, 199u);
+}
+
+TEST(Diameter, InvalidStartThrows) {
+    const CsrGraph g = test::path_graph(5);
+    EXPECT_THROW(estimate_diameter(g, 5, serial_opts()), std::out_of_range);
+}
+
+TEST(Diameter, RespectsSweepBudget) {
+    const CsrGraph g = test::cycle_graph(1000);
+    const DiameterEstimate d = estimate_diameter(g, 0, serial_opts(), 2);
+    EXPECT_LE(d.sweeps, 2u);
+}
+
+// ---------- subgraph extraction ----------
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+    // Path 0-1-2-3-4; select {1, 2, 4}: edges 1-2 survive, 4 isolates.
+    const CsrGraph g = test::path_graph(5);
+    const std::vector<vertex_t> pick = {1, 2, 4};
+    const Subgraph s = induced_subgraph(g, pick);
+
+    EXPECT_EQ(s.graph.num_vertices(), 3u);
+    EXPECT_EQ(s.graph.num_edges(), 2u);  // 1-2 both directions
+    EXPECT_EQ(s.original_of, pick);
+    EXPECT_EQ(s.new_of[1], 0u);
+    EXPECT_EQ(s.new_of[2], 1u);
+    EXPECT_EQ(s.new_of[4], 2u);
+    EXPECT_EQ(s.new_of[0], kInvalidVertex);
+    EXPECT_TRUE(s.graph.has_edge(0, 1));
+    EXPECT_EQ(s.graph.degree(2), 0u);
+}
+
+TEST(Subgraph, DeduplicatesSelection) {
+    const CsrGraph g = test::path_graph(4);
+    const std::vector<vertex_t> pick = {2, 2, 1, 2};
+    const Subgraph s = induced_subgraph(g, pick);
+    EXPECT_EQ(s.graph.num_vertices(), 2u);
+    EXPECT_EQ(s.original_of, (std::vector<vertex_t>{2, 1}));
+}
+
+TEST(Subgraph, OutOfRangeSelectionThrows) {
+    const CsrGraph g = test::path_graph(4);
+    const std::vector<vertex_t> pick = {1, 9};
+    EXPECT_THROW(induced_subgraph(g, pick), std::out_of_range);
+}
+
+TEST(Subgraph, EmptySelection) {
+    const CsrGraph g = test::path_graph(4);
+    const Subgraph s = induced_subgraph(g, {});
+    EXPECT_EQ(s.graph.num_vertices(), 0u);
+    EXPECT_EQ(s.graph.num_edges(), 0u);
+}
+
+TEST(Subgraph, LargestComponentOfTwoCliques) {
+    // Make the components unequal: K4 and K6.
+    EdgeList edges(10);
+    for (vertex_t a = 0; a < 4; ++a)
+        for (vertex_t b = a + 1; b < 4; ++b) edges.add(a, b);
+    for (vertex_t a = 4; a < 10; ++a)
+        for (vertex_t b = a + 1; b < 10; ++b) edges.add(a, b);
+    const CsrGraph g = csr_from_edges(edges);
+
+    const Subgraph s = largest_component_subgraph(g);
+    EXPECT_EQ(s.graph.num_vertices(), 6u);
+    EXPECT_EQ(s.graph.num_edges(), 30u);  // K6: 15 undirected
+    for (const vertex_t old : s.original_of) EXPECT_GE(old, 4u);
+}
+
+TEST(Subgraph, LargestComponentIsConnected) {
+    UniformParams params;
+    params.num_vertices = 2000;
+    params.degree = 2;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    const Subgraph s = largest_component_subgraph(g);
+    EXPECT_GT(s.graph.num_vertices(), 0u);
+    const ComponentsResult cc = connected_components(s.graph);
+    EXPECT_EQ(cc.num_components(), 1u);
+    // And it matches the component census of the original.
+    const ComponentsResult orig = connected_components(g);
+    EXPECT_EQ(s.graph.num_vertices(), orig.largest_size());
+}
+
+// ---------- small-world generator ----------
+
+TEST(SmallWorld, ZeroRewireIsARingLattice) {
+    SmallWorldParams params;
+    params.num_vertices = 100;
+    params.mean_degree = 4;
+    params.rewire_probability = 0.0;
+    const CsrGraph g = csr_from_edges(generate_small_world(params));
+    for (vertex_t v = 0; v < 100; ++v) {
+        ASSERT_EQ(g.degree(v), 4u) << "vertex " << v;
+        ASSERT_TRUE(g.has_edge(v, (v + 1) % 100));
+        ASSERT_TRUE(g.has_edge(v, (v + 2) % 100));
+    }
+}
+
+TEST(SmallWorld, RewiringShrinksDiameter) {
+    SmallWorldParams params;
+    params.num_vertices = 2000;
+    params.mean_degree = 6;
+    params.rewire_probability = 0.0;
+    const CsrGraph lattice = csr_from_edges(generate_small_world(params));
+    params.rewire_probability = 0.2;
+    const CsrGraph small_world =
+        csr_from_edges(generate_small_world(params));
+
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    const auto d_lattice = estimate_diameter(lattice, 0, opts, 4);
+    const auto d_sw = estimate_diameter(small_world, 0, opts, 4);
+    // Ring lattice diameter ~ n/k = 333; a few shortcuts collapse it.
+    EXPECT_GT(d_lattice.lower_bound, 10 * d_sw.lower_bound);
+}
+
+TEST(SmallWorld, DeterministicAndValidArguments) {
+    SmallWorldParams params;
+    params.num_vertices = 300;
+    params.rewire_probability = 0.5;
+    params.seed = 7;
+    const EdgeList a = generate_small_world(params);
+    const EdgeList b = generate_small_world(params);
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (std::size_t i = 0; i < a.num_edges(); ++i) ASSERT_EQ(a[i], b[i]);
+
+    params.rewire_probability = 1.5;
+    EXPECT_THROW(generate_small_world(params), std::invalid_argument);
+    params.rewire_probability = 0.5;
+    params.mean_degree = 600;
+    EXPECT_THROW(generate_small_world(params), std::invalid_argument);
+}
+
+// ---------- sample statistics ----------
+
+TEST(Stats, SummaryOfKnownSample) {
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    const SampleSummary s = summarize(v);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_NEAR(s.stddev, 1.1180, 1e-3);
+}
+
+TEST(Stats, OddMedianAndEmptyInput) {
+    const std::vector<double> v = {9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(summarize(v).median, 5.0);
+    const SampleSummary empty = summarize({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(Stats, HarmonicMean) {
+    const std::vector<double> v = {1.0, 2.0, 4.0};
+    EXPECT_NEAR(harmonic_mean(v), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+    EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
+    const std::vector<double> with_zero = {1.0, 0.0};
+    EXPECT_DOUBLE_EQ(harmonic_mean(with_zero), 0.0);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/frontier.hpp"
+
+namespace sge {
+namespace {
+
+TEST(FrontierQueue, PushBatchAndScan) {
+    FrontierQueue q(100);
+    const vertex_t items[] = {5, 6, 7, 8};
+    q.push_batch(items, 4);
+    q.push_one(9);
+    EXPECT_EQ(q.size(), 5u);
+
+    std::vector<vertex_t> got;
+    std::size_t b = 0;
+    std::size_t e = 0;
+    while (q.next_chunk(2, b, e))
+        for (std::size_t i = b; i < e; ++i) got.push_back(q[i]);
+    EXPECT_EQ(got, (std::vector<vertex_t>{5, 6, 7, 8, 9}));
+}
+
+TEST(FrontierQueue, ResetRewindsBothCursors) {
+    FrontierQueue q(10);
+    q.push_one(1);
+    std::size_t b = 0;
+    std::size_t e = 0;
+    EXPECT_TRUE(q.next_chunk(4, b, e));
+    q.reset();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.next_chunk(4, b, e));
+    q.push_one(2);
+    EXPECT_TRUE(q.next_chunk(4, b, e));
+    EXPECT_EQ(q[b], 2u);
+}
+
+TEST(FrontierQueue, ChunkLargerThanContent) {
+    FrontierQueue q(10);
+    q.push_one(42);
+    std::size_t b = 0;
+    std::size_t e = 0;
+    ASSERT_TRUE(q.next_chunk(100, b, e));
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    EXPECT_FALSE(q.next_chunk(100, b, e));
+}
+
+TEST(FrontierQueue, ConcurrentProducersLoseNothing) {
+    constexpr int kThreads = 8;
+    constexpr vertex_t kPerThread = 10000;
+    FrontierQueue q(kThreads * kPerThread);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&q, t] {
+            vertex_t batch[32];
+            std::size_t fill = 0;
+            for (vertex_t i = 0; i < kPerThread; ++i) {
+                batch[fill++] = static_cast<vertex_t>(t) * kPerThread + i;
+                if (fill == 32) {
+                    q.push_batch(batch, fill);
+                    fill = 0;
+                }
+            }
+            if (fill) q.push_batch(batch, fill);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    ASSERT_EQ(q.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+    std::vector<vertex_t> all(q.data(), q.data() + q.size());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(FrontierQueue, ConcurrentScannersPartitionTheWork) {
+    FrontierQueue q(50000);
+    for (vertex_t i = 0; i < 50000; ++i) q.push_one(i);
+
+    constexpr int kThreads = 6;
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            std::uint64_t local_sum = 0;
+            std::uint64_t local_count = 0;
+            std::size_t b = 0;
+            std::size_t e = 0;
+            while (q.next_chunk(128, b, e)) {
+                for (std::size_t i = b; i < e; ++i) {
+                    local_sum += q[i];
+                    ++local_count;
+                }
+            }
+            sum.fetch_add(local_sum);
+            count.fetch_add(local_count);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(count.load(), 50000u);  // every element claimed exactly once
+    EXPECT_EQ(sum.load(), 50000ULL * 49999 / 2);
+}
+
+TEST(LocalBatch, SignalsFullAtCapacity) {
+    LocalBatch<vertex_t> batch(3);
+    EXPECT_FALSE(batch.push(1));
+    EXPECT_FALSE(batch.push(2));
+    EXPECT_TRUE(batch.push(3));
+    EXPECT_EQ(batch.size(), 3u);
+    batch.clear();
+    EXPECT_TRUE(batch.empty());
+    EXPECT_FALSE(batch.push(4));
+    EXPECT_EQ(batch.data()[0], 4u);
+}
+
+TEST(LocalBatch, ZeroCapacityClampsToOne) {
+    LocalBatch<vertex_t> batch(0);
+    EXPECT_EQ(batch.capacity(), 1u);
+    EXPECT_TRUE(batch.push(7));  // immediately full
+}
+
+}  // namespace
+}  // namespace sge

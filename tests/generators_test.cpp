@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gen/grid.hpp"
+#include "gen/permute.hpp"
+#include "gen/rmat.hpp"
+#include "gen/ssca2.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace sge {
+namespace {
+
+// ---------- uniform ----------
+
+TEST(UniformGen, EdgeCountAndRange) {
+    UniformParams params;
+    params.num_vertices = 1000;
+    params.degree = 8;
+    const EdgeList edges = generate_uniform(params);
+    EXPECT_EQ(edges.num_edges(), 8000u);
+    EXPECT_EQ(edges.num_vertices(), 1000u);
+    for (const Edge& e : edges) {
+        ASSERT_LT(e.src, 1000u);
+        ASSERT_LT(e.dst, 1000u);
+        ASSERT_NE(e.src, e.dst) << "self-loop generated";
+    }
+}
+
+TEST(UniformGen, EveryVertexHasExactOutDegree) {
+    UniformParams params;
+    params.num_vertices = 500;
+    params.degree = 4;
+    const EdgeList edges = generate_uniform(params);
+    std::vector<int> out(500, 0);
+    for (const Edge& e : edges) ++out[e.src];
+    for (const int d : out) ASSERT_EQ(d, 4);
+}
+
+TEST(UniformGen, DeterministicPerSeed) {
+    UniformParams params;
+    params.num_vertices = 200;
+    params.degree = 5;
+    params.seed = 99;
+    const EdgeList a = generate_uniform(params);
+    const EdgeList b = generate_uniform(params);
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (std::size_t i = 0; i < a.num_edges(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(UniformGen, DifferentSeedsDiffer) {
+    UniformParams params;
+    params.num_vertices = 200;
+    params.degree = 5;
+    params.seed = 1;
+    const EdgeList a = generate_uniform(params);
+    params.seed = 2;
+    const EdgeList b = generate_uniform(params);
+    int same = 0;
+    for (std::size_t i = 0; i < a.num_edges(); ++i) same += (a[i] == b[i]);
+    EXPECT_LT(same, 30);
+}
+
+TEST(UniformGen, NeighboursRoughlyUniform) {
+    // Chi-square-ish sanity: destination counts over 10 buckets.
+    UniformParams params;
+    params.num_vertices = 10000;
+    params.degree = 10;
+    const EdgeList edges = generate_uniform(params);
+    std::uint64_t buckets[10] = {};
+    for (const Edge& e : edges) ++buckets[e.dst / 1000];
+    for (const std::uint64_t c : buckets) {
+        EXPECT_GT(c, 9000u);
+        EXPECT_LT(c, 11000u);
+    }
+}
+
+TEST(UniformGen, ThrowsOnSingleVertexWithDegree) {
+    UniformParams params;
+    params.num_vertices = 1;
+    params.degree = 2;
+    EXPECT_THROW(generate_uniform(params), std::invalid_argument);
+}
+
+TEST(UniformGen, EmptyGraph) {
+    UniformParams params;
+    params.num_vertices = 0;
+    EXPECT_EQ(generate_uniform(params).num_edges(), 0u);
+}
+
+// ---------- R-MAT ----------
+
+TEST(RmatGen, CountsAndRange) {
+    RmatParams params;
+    params.scale = 12;
+    params.num_edges = 40000;
+    const EdgeList edges = generate_rmat(params);
+    EXPECT_EQ(edges.num_edges(), 40000u);
+    EXPECT_EQ(edges.num_vertices(), 1u << 12);
+    for (const Edge& e : edges) {
+        ASSERT_LT(e.src, 1u << 12);
+        ASSERT_LT(e.dst, 1u << 12);
+    }
+}
+
+TEST(RmatGen, DeterministicPerSeed) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 5000;
+    params.seed = 7;
+    const EdgeList a = generate_rmat(params);
+    const EdgeList b = generate_rmat(params);
+    for (std::size_t i = 0; i < a.num_edges(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(RmatGen, SkewedDegreeDistribution) {
+    // The point of R-MAT: a heavy tail. Max degree must dwarf the mean
+    // (a uniform graph of the same size has max within ~3x of mean).
+    RmatParams params;
+    params.scale = 14;
+    params.num_edges = 1 << 17;  // mean arity 8
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const DegreeStats stats = compute_degree_stats(g);
+    EXPECT_GT(static_cast<double>(stats.max_degree), 5.0 * stats.mean_degree);
+    EXPECT_GT(stats.isolated_vertices, 0u);  // scale-free leaves orphans
+}
+
+TEST(RmatGen, RejectsBadProbabilities) {
+    RmatParams params;
+    params.a = 0.9;
+    params.b = 0.9;  // sums to > 1
+    params.c = 0.1;
+    params.d = 0.1;
+    EXPECT_THROW(generate_rmat(params), std::invalid_argument);
+    RmatParams neg;
+    neg.a = -0.1;
+    neg.b = 0.5;
+    neg.c = 0.3;
+    neg.d = 0.3;
+    EXPECT_THROW(generate_rmat(neg), std::invalid_argument);
+}
+
+TEST(RmatGen, RejectsHugeScale) {
+    RmatParams params;
+    params.scale = 32;
+    EXPECT_THROW(generate_rmat(params), std::invalid_argument);
+}
+
+TEST(RmatGen, ZeroNoiseStillWorks) {
+    RmatParams params;
+    params.scale = 8;
+    params.num_edges = 1000;
+    params.noise = 0.0;
+    const EdgeList edges = generate_rmat(params);
+    EXPECT_EQ(edges.num_edges(), 1000u);
+}
+
+// ---------- grid ----------
+
+TEST(GridGen, LatticeStructure) {
+    GridParams params;
+    params.width = 4;
+    params.height = 3;
+    const CsrGraph g = csr_from_edges(generate_grid(params));
+    EXPECT_EQ(g.num_vertices(), 12u);
+    // Undirected 4x3 grid: 3*3 horizontal + 4*2 vertical = 17 edges.
+    EXPECT_EQ(g.num_edges(), 2u * 17);
+    // Corner (0,0) has degree 2; centre (1,1) has degree 4.
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(5), 4u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(0, 4));
+    EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(GridGen, DiagonalConnectivity) {
+    GridParams params;
+    params.width = 3;
+    params.height = 3;
+    params.diagonal = true;
+    const CsrGraph g = csr_from_edges(generate_grid(params));
+    EXPECT_TRUE(g.has_edge(0, 4));  // (0,0)-(1,1)
+    EXPECT_TRUE(g.has_edge(2, 4));  // (2,0)-(1,1) anti-diagonal
+    EXPECT_EQ(g.degree(4), 8u);     // centre of a 3x3 with diagonals
+}
+
+TEST(GridGen, TorusWrap) {
+    GridParams params;
+    params.width = 5;
+    params.height = 4;
+    params.wrap = true;
+    const CsrGraph g = csr_from_edges(generate_grid(params));
+    EXPECT_TRUE(g.has_edge(4, 0));   // row wrap
+    EXPECT_TRUE(g.has_edge(15, 0));  // column wrap
+    // Torus: every vertex has degree exactly 4.
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(g.degree(v), 4u) << "vertex " << v;
+}
+
+TEST(GridGen, EmptyAndDegenerate) {
+    GridParams params;
+    EXPECT_EQ(generate_grid(params).num_edges(), 0u);
+    params.width = 1;
+    params.height = 5;  // a path
+    const CsrGraph g = csr_from_edges(generate_grid(params));
+    EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges
+}
+
+// ---------- SSCA#2 ----------
+
+TEST(Ssca2Gen, DeterministicAndInRange) {
+    Ssca2Params params;
+    params.num_vertices = 2000;
+    params.seed = 5;
+    const EdgeList a = generate_ssca2(params);
+    const EdgeList b = generate_ssca2(params);
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    EXPECT_GT(a.num_edges(), 0u);
+    for (std::size_t i = 0; i < a.num_edges(); ++i) {
+        ASSERT_EQ(a[i], b[i]);
+        ASSERT_LT(a[i].src, 2000u);
+        ASSERT_LT(a[i].dst, 2000u);
+    }
+}
+
+TEST(Ssca2Gen, HasClusteredStructure) {
+    Ssca2Params params;
+    params.num_vertices = 5000;
+    params.max_clique_size = 20;
+    const CsrGraph g = csr_from_edges(generate_ssca2(params));
+    // Cliques push the mean degree well above the inter-clique spray.
+    const DegreeStats stats = compute_degree_stats(g);
+    EXPECT_GT(stats.mean_degree, 4.0);
+    EXPECT_EQ(stats.isolated_vertices, 0u);
+}
+
+// ---------- permutation ----------
+
+TEST(Permute, ProducesValidPermutation) {
+    UniformParams uparams;
+    uparams.num_vertices = 300;
+    uparams.degree = 4;
+    EdgeList edges = generate_uniform(uparams);
+    const auto perm = permute_vertices(edges, 123);
+
+    ASSERT_EQ(perm.size(), 300u);
+    std::vector<vertex_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (vertex_t i = 0; i < 300; ++i) ASSERT_EQ(sorted[i], i);
+}
+
+TEST(Permute, PreservesDegreeMultiset) {
+    UniformParams uparams;
+    uparams.num_vertices = 400;
+    uparams.degree = 6;
+    EdgeList original = generate_uniform(uparams);
+    EdgeList shuffled = original;
+    permute_vertices(shuffled, 77);
+
+    const auto degree_multiset = [](const EdgeList& e) {
+        std::map<vertex_t, int> out;
+        for (const Edge& edge : e) ++out[edge.src];
+        std::vector<int> degrees;
+        for (const auto& [v, d] : out) degrees.push_back(d);
+        std::sort(degrees.begin(), degrees.end());
+        return degrees;
+    };
+    EXPECT_EQ(degree_multiset(original), degree_multiset(shuffled));
+}
+
+TEST(Permute, RelabelsConsistently) {
+    EdgeList edges(4);
+    edges.add(0, 1);
+    edges.add(2, 3);
+    EdgeList copy = edges;
+    const auto perm = permute_vertices(copy, 9);
+    EXPECT_EQ(copy[0].src, perm[0]);
+    EXPECT_EQ(copy[0].dst, perm[1]);
+    EXPECT_EQ(copy[1].src, perm[2]);
+    EXPECT_EQ(copy[1].dst, perm[3]);
+}
+
+}  // namespace
+}  // namespace sge

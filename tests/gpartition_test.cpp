@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "gen/grid.hpp"
+#include "gen/permute.hpp"
+#include "gen/ssca2.hpp"
+#include "graph/builder.hpp"
+#include "graph/gpartition.hpp"
+#include "graph/reorder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+void expect_valid_assignment(const PartitionAssignment& a, vertex_t n,
+                             int parts) {
+    ASSERT_EQ(a.part.size(), n);
+    ASSERT_EQ(a.parts, parts);
+    for (const int p : a.part) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, parts);
+    }
+}
+
+TEST(Gpartition, EvaluateCountsCutArcs) {
+    // Path 0-1-2-3 split {0,1} | {2,3}: one undirected cut edge = 2 arcs.
+    const CsrGraph g = test::path_graph(4);
+    const std::vector<int> part = {0, 0, 1, 1};
+    const PartitionQuality q = evaluate_partition(g, part, 2);
+    EXPECT_EQ(q.cut_arcs, 2u);
+    EXPECT_DOUBLE_EQ(q.imbalance, 0.0);
+}
+
+TEST(Gpartition, EvaluateDetectsImbalance) {
+    const CsrGraph g = test::path_graph(4);
+    const std::vector<int> part = {0, 0, 0, 1};
+    const PartitionQuality q = evaluate_partition(g, part, 2);
+    EXPECT_DOUBLE_EQ(q.imbalance, 0.5);  // 3 / 2 - 1
+}
+
+TEST(Gpartition, EvaluateRejectsBadInput) {
+    const CsrGraph g = test::path_graph(4);
+    const std::vector<int> wrong_size = {0, 1};
+    EXPECT_THROW(evaluate_partition(g, wrong_size, 2), std::invalid_argument);
+    const std::vector<int> bad_id = {0, 0, 0, 7};
+    EXPECT_THROW(evaluate_partition(g, bad_id, 2), std::invalid_argument);
+}
+
+TEST(Gpartition, BlockMatchesSocketPartition) {
+    const PartitionAssignment a = block_partition(100, 4);
+    expect_valid_assignment(a, 100, 4);
+    EXPECT_EQ(a.part[0], 0);
+    EXPECT_EQ(a.part[24], 0);
+    EXPECT_EQ(a.part[25], 1);
+    EXPECT_EQ(a.part[99], 3);
+}
+
+TEST(Gpartition, BfsGrowAssignsEveryVertexWithinBalance) {
+    Ssca2Params params;
+    params.num_vertices = 3000;
+    params.seed = 6;
+    const CsrGraph g = csr_from_edges(generate_ssca2(params));
+    for (const int parts : {2, 3, 8}) {
+        const PartitionAssignment a = bfs_grow_partition(g, parts, 1);
+        expect_valid_assignment(a, g.num_vertices(), parts);
+        const PartitionQuality q = evaluate_partition(g, a.part, parts);
+        EXPECT_LE(q.imbalance, 0.25) << parts << " parts";
+    }
+}
+
+TEST(Gpartition, BfsGrowBeatsBlocksOnShuffledGrid) {
+    // A grid with shuffled labels: block partition cuts ~everything;
+    // region growing rediscovers the geometry.
+    GridParams params;
+    params.width = 48;
+    params.height = 48;
+    EdgeList edges = generate_grid(params);
+    permute_vertices(edges, 11);
+    const CsrGraph g = csr_from_edges(edges);
+
+    const PartitionAssignment blocks = block_partition(g.num_vertices(), 4);
+    const PartitionAssignment grown = bfs_grow_partition(g, 4, 2);
+    const auto q_blocks = evaluate_partition(g, blocks.part, 4);
+    const auto q_grown = evaluate_partition(g, grown.part, 4);
+    EXPECT_LT(q_grown.cut_arcs, q_blocks.cut_arcs / 2)
+        << "region growing found no locality";
+}
+
+TEST(Gpartition, PartitionOrderMakesPartsContiguous) {
+    Ssca2Params params;
+    params.num_vertices = 500;
+    const CsrGraph g = csr_from_edges(generate_ssca2(params));
+    const PartitionAssignment a = bfs_grow_partition(g, 3, 4);
+    const auto perm = partition_order(a);
+
+    // perm must be a permutation and sort vertices by part.
+    std::vector<int> part_of_new(g.num_vertices(), -1);
+    std::vector<bool> hit(g.num_vertices(), false);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_LT(perm[v], g.num_vertices());
+        ASSERT_FALSE(hit[perm[v]]);
+        hit[perm[v]] = true;
+        part_of_new[perm[v]] = a.part[v];
+    }
+    for (vertex_t i = 0; i + 1 < g.num_vertices(); ++i)
+        ASSERT_LE(part_of_new[i], part_of_new[i + 1]) << "not contiguous at " << i;
+}
+
+TEST(Gpartition, RelabeledPartitionFeedsMultiSocketBfs) {
+    // End to end: grow a partition, relabel, run Algorithm 3 with the
+    // matching emulated socket count, validate.
+    GridParams params;
+    params.width = 40;
+    params.height = 40;
+    EdgeList edges = generate_grid(params);
+    permute_vertices(edges, 3);
+    const CsrGraph g = csr_from_edges(edges);
+
+    const PartitionAssignment a = bfs_grow_partition(g, 4, 9);
+    const CsrGraph relabeled = apply_vertex_permutation(g, partition_order(a));
+
+    BfsOptions opts;
+    opts.engine = BfsEngine::kMultiSocket;
+    opts.threads = 4;
+    opts.topology = Topology::emulate(4, 1, 1);
+    opts.collect_stats = true;
+    const BfsResult r = bfs(relabeled, 0, opts);
+    EXPECT_TRUE(validate_bfs_tree(relabeled, 0, r).ok);
+    EXPECT_EQ(r.vertices_visited, g.num_vertices());
+
+    // The relabeled run should ship notably fewer tuples than the raw
+    // shuffled labels under block partition.
+    const BfsResult raw = bfs(g, 0, opts);
+    std::uint64_t tuples_relabeled = 0;
+    std::uint64_t tuples_raw = 0;
+    for (const auto& s : r.level_stats) tuples_relabeled += s.remote_tuples;
+    for (const auto& s : raw.level_stats) tuples_raw += s.remote_tuples;
+    EXPECT_LT(tuples_relabeled, tuples_raw);
+}
+
+TEST(Gpartition, MorePartsThanVerticesClamps) {
+    const CsrGraph g = test::path_graph(3);
+    const PartitionAssignment a = bfs_grow_partition(g, 10, 1);
+    EXPECT_EQ(a.parts, 3);
+    expect_valid_assignment(a, 3, 3);
+}
+
+TEST(Gpartition, InvalidPartsThrows) {
+    const CsrGraph g = test::path_graph(3);
+    EXPECT_THROW(bfs_grow_partition(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace sge {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() / "sge_io_test";
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string path(const char* name) const { return (dir_ / name).string(); }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 8192;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+
+    write_csr(g, path("g.csr"));
+    const CsrGraph loaded = read_csr(path("g.csr"));
+    EXPECT_TRUE(g == loaded);
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripEmptyGraph) {
+    const CsrGraph g = csr_from_edges(EdgeList(0));
+    write_csr(g, path("empty.csr"));
+    const CsrGraph loaded = read_csr(path("empty.csr"));
+    EXPECT_EQ(loaded.num_vertices(), 0u);
+    EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST_F(GraphIoTest, ReadRejectsBadMagic) {
+    std::ofstream out(path("bad.csr"), std::ios::binary);
+    out << "NOTACSR0 garbage follows";
+    out.close();
+    EXPECT_THROW(read_csr(path("bad.csr")), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, ReadRejectsTruncatedFile) {
+    const CsrGraph g = csr_from_edges(EdgeList(10));
+    write_csr(g, path("trunc.csr"));
+    std::filesystem::resize_file(path("trunc.csr"), 20);  // cut mid-header
+    EXPECT_THROW(read_csr(path("trunc.csr")), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, ReadRejectsMissingFile) {
+    EXPECT_THROW(read_csr(path("does_not_exist.csr")), std::runtime_error);
+}
+
+TEST_F(GraphIoTest, TextEdgeListRoundTrip) {
+    EdgeList edges(5);
+    edges.add(0, 1);
+    edges.add(3, 4);
+    edges.add(2, 2);
+    write_edge_list_text(edges, path("e.txt"));
+    const EdgeList loaded = read_edge_list_text(path("e.txt"));
+    ASSERT_EQ(loaded.num_edges(), 3u);
+    EXPECT_EQ(loaded[0], (Edge{0, 1}));
+    EXPECT_EQ(loaded[1], (Edge{3, 4}));
+    EXPECT_EQ(loaded[2], (Edge{2, 2}));
+    EXPECT_EQ(loaded.num_vertices(), 5u);
+}
+
+TEST_F(GraphIoTest, TextReaderSkipsComments) {
+    std::ofstream out(path("c.txt"));
+    out << "# comment\n% another style\n1 2\n\n3 4\n";
+    out.close();
+    const EdgeList loaded = read_edge_list_text(path("c.txt"));
+    EXPECT_EQ(loaded.num_edges(), 2u);
+}
+
+TEST_F(GraphIoTest, TextReaderRejectsGarbageLine) {
+    std::ofstream out(path("g.txt"));
+    out << "1 2\nhello world\n";
+    out.close();
+    EXPECT_THROW(read_edge_list_text(path("g.txt")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytics/kcore.hpp"
+#include "analytics/triangles.hpp"
+#include "gen/rmat.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+CsrGraph clique(vertex_t k) {
+    EdgeList edges(k);
+    for (vertex_t a = 0; a < k; ++a)
+        for (vertex_t b = a + 1; b < k; ++b) edges.add(a, b);
+    return csr_from_edges(edges);
+}
+
+// ---------- k-core ----------
+
+TEST(Kcore, CliqueIsKMinusOneCore) {
+    const KcoreResult r = kcore_decomposition(clique(6));
+    EXPECT_EQ(r.degeneracy, 5u);
+    for (const auto c : r.core) EXPECT_EQ(c, 5u);
+}
+
+TEST(Kcore, PathIsOneCore) {
+    const KcoreResult r = kcore_decomposition(test::path_graph(10));
+    EXPECT_EQ(r.degeneracy, 1u);
+    for (const auto c : r.core) EXPECT_EQ(c, 1u);
+}
+
+TEST(Kcore, StarLeavesAreOneCore) {
+    const KcoreResult r = kcore_decomposition(test::star_graph(10));
+    EXPECT_EQ(r.degeneracy, 1u);
+    EXPECT_EQ(r.core[0], 1u);  // hub peels once all leaves are gone
+}
+
+TEST(Kcore, CycleIsTwoCore) {
+    const KcoreResult r = kcore_decomposition(test::cycle_graph(7));
+    EXPECT_EQ(r.degeneracy, 2u);
+    for (const auto c : r.core) EXPECT_EQ(c, 2u);
+}
+
+TEST(Kcore, CliqueWithTailSeparates) {
+    // K5 (0..4) plus a tail 4-5-6.
+    EdgeList edges(7);
+    for (vertex_t a = 0; a < 5; ++a)
+        for (vertex_t b = a + 1; b < 5; ++b) edges.add(a, b);
+    edges.add(4, 5);
+    edges.add(5, 6);
+    const KcoreResult r = kcore_decomposition(csr_from_edges(edges));
+    for (vertex_t v = 0; v < 5; ++v) EXPECT_EQ(r.core[v], 4u) << v;
+    EXPECT_EQ(r.core[5], 1u);
+    EXPECT_EQ(r.core[6], 1u);
+    EXPECT_EQ(r.members_of(4).size(), 5u);
+    EXPECT_EQ(r.members_of(1).size(), 7u);
+}
+
+TEST(Kcore, IsolatedVerticesAreZeroCore) {
+    const KcoreResult r = kcore_decomposition(csr_from_edges(EdgeList(4)));
+    for (const auto c : r.core) EXPECT_EQ(c, 0u);
+    EXPECT_EQ(r.degeneracy, 0u);
+}
+
+TEST(Kcore, CoreInvariantHoldsOnRandomGraph) {
+    // Defining property: in the subgraph induced by {v : core[v] >= k},
+    // every member has at least k neighbours inside.
+    RmatParams params;
+    params.scale = 11;
+    params.num_edges = 1 << 14;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const KcoreResult r = kcore_decomposition(g);
+    ASSERT_GT(r.degeneracy, 1u);
+
+    for (const std::uint32_t k : {1u, 2u, r.degeneracy}) {
+        for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+            if (r.core[v] < k) continue;
+            std::uint32_t inside = 0;
+            for (const vertex_t w : g.neighbors(v)) inside += (r.core[w] >= k);
+            ASSERT_GE(inside, k) << "vertex " << v << " in " << k << "-core";
+        }
+    }
+}
+
+TEST(Kcore, EmptyGraph) {
+    const KcoreResult r = kcore_decomposition(csr_from_edges(EdgeList(0)));
+    EXPECT_TRUE(r.core.empty());
+    EXPECT_EQ(r.degeneracy, 0u);
+}
+
+// ---------- triangles ----------
+
+TEST(Triangles, CliqueCensus) {
+    const TriangleCounts t = count_triangles(clique(5));
+    EXPECT_EQ(t.total, 10u);  // C(5,3)
+    for (const auto c : t.per_vertex) EXPECT_EQ(c, 6u);  // C(4,2)
+    EXPECT_DOUBLE_EQ(t.global_clustering(clique(5)), 1.0);
+}
+
+TEST(Triangles, TreesAndCyclesHaveNone) {
+    EXPECT_EQ(count_triangles(test::path_graph(50)).total, 0u);
+    EXPECT_EQ(count_triangles(test::star_graph(50)).total, 0u);
+    EXPECT_EQ(count_triangles(test::cycle_graph(50)).total, 0u);
+}
+
+TEST(Triangles, TriangleWithPendant) {
+    EdgeList edges(4);
+    edges.add(0, 1);
+    edges.add(1, 2);
+    edges.add(2, 0);
+    edges.add(2, 3);
+    const CsrGraph g = csr_from_edges(edges);
+    const TriangleCounts t = count_triangles(g);
+    EXPECT_EQ(t.total, 1u);
+    EXPECT_EQ(t.per_vertex[0], 1u);
+    EXPECT_EQ(t.per_vertex[1], 1u);
+    EXPECT_EQ(t.per_vertex[2], 1u);
+    EXPECT_EQ(t.per_vertex[3], 0u);
+    // wedges: deg 2,2,3,1 -> 1+1+3+0 = 5; clustering = 3/5.
+    EXPECT_DOUBLE_EQ(t.global_clustering(g), 0.6);
+}
+
+TEST(Triangles, PerVertexSumsToThreeTimesTotal) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 1 << 13;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const TriangleCounts t = count_triangles(g);
+    EXPECT_GT(t.total, 0u);  // R-MAT has community structure
+    const std::uint64_t sum = std::accumulate(
+        t.per_vertex.begin(), t.per_vertex.end(), std::uint64_t{0});
+    EXPECT_EQ(sum, 3 * t.total);
+}
+
+TEST(Triangles, ParallelMatchesSerial) {
+    UniformParams params;
+    params.num_vertices = 3000;
+    params.degree = 10;
+    const CsrGraph g = csr_from_edges(generate_uniform(params));
+    const TriangleCounts serial = count_triangles(g);
+
+    TriangleOptions opts;
+    opts.threads = 4;
+    opts.topology = Topology::emulate(2, 2, 1);
+    const TriangleCounts parallel = count_triangles(g, opts);
+    EXPECT_EQ(serial.total, parallel.total);
+    EXPECT_EQ(serial.per_vertex, parallel.per_vertex);
+}
+
+TEST(Triangles, EmptyGraph) {
+    const TriangleCounts t = count_triangles(csr_from_edges(EdgeList(0)));
+    EXPECT_EQ(t.total, 0u);
+    EXPECT_DOUBLE_EQ(t.global_clustering(csr_from_edges(EdgeList(0))), 0.0);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytics/pagerank.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+double total(const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRank, ScoresSumToOne) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 8192;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const PageRankResult r = pagerank(g);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(total(r.score), 1.0, 1e-9);
+    for (const double s : r.score) ASSERT_GT(s, 0.0);
+}
+
+TEST(PageRank, RegularGraphIsUniform) {
+    // On a cycle every vertex is symmetric: score = 1/n exactly.
+    const CsrGraph g = test::cycle_graph(40);
+    const PageRankResult r = pagerank(g);
+    EXPECT_TRUE(r.converged);
+    for (const double s : r.score) ASSERT_NEAR(s, 1.0 / 40, 1e-9);
+}
+
+TEST(PageRank, StarCenterDominates) {
+    const CsrGraph g = test::star_graph(50);
+    const PageRankResult r = pagerank(g);
+    for (vertex_t v = 1; v < 50; ++v) {
+        ASSERT_GT(r.score[0], 5.0 * r.score[v]);
+        ASSERT_NEAR(r.score[v], r.score[1], 1e-12);  // leaves symmetric
+    }
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+    // Path 0-1 plus two isolated vertices: total mass must stay 1.
+    EdgeList edges(4);
+    edges.add(0, 1);
+    const CsrGraph g = csr_from_edges(edges);
+    const PageRankResult r = pagerank(g);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(total(r.score), 1.0, 1e-9);
+    EXPECT_NEAR(r.score[2], r.score[3], 1e-12);
+    EXPECT_GT(r.score[0], r.score[2]);  // linked beats isolated
+}
+
+TEST(PageRank, ParallelMatchesSerialExactly) {
+    RmatParams params;
+    params.scale = 11;
+    params.num_edges = 1 << 14;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const PageRankResult serial = pagerank(g);
+
+    PageRankOptions opts;
+    opts.threads = 4;
+    opts.topology = Topology::emulate(2, 2, 1);
+    const PageRankResult parallel = pagerank(g, opts);
+    ASSERT_EQ(serial.iterations, parallel.iterations);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_NEAR(serial.score[v], parallel.score[v], 1e-12) << v;
+}
+
+TEST(PageRank, IterationCapRespected) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 8192;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    PageRankOptions opts;
+    opts.max_iterations = 3;
+    opts.tolerance = 0.0;  // unreachable
+    const PageRankResult r = pagerank(g, opts);
+    EXPECT_EQ(r.iterations, 3);
+    EXPECT_FALSE(r.converged);
+}
+
+TEST(PageRank, RejectsBadDamping) {
+    const CsrGraph g = test::path_graph(3);
+    PageRankOptions opts;
+    opts.damping = 1.0;
+    EXPECT_THROW(pagerank(g, opts), std::invalid_argument);
+    opts.damping = -0.1;
+    EXPECT_THROW(pagerank(g, opts), std::invalid_argument);
+}
+
+TEST(PageRank, EmptyGraph) {
+    const PageRankResult r = pagerank(csr_from_edges(EdgeList(0)));
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.score.empty());
+}
+
+TEST(PageRank, ZeroDampingIsUniform) {
+    const CsrGraph g = test::star_graph(10);
+    PageRankOptions opts;
+    opts.damping = 0.0;
+    const PageRankResult r = pagerank(g, opts);
+    for (const double s : r.score) ASSERT_NEAR(s, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "graph/partition.hpp"
+
+namespace sge {
+namespace {
+
+TEST(SocketPartition, RangesTileTheVertexSpace) {
+    for (const vertex_t n : {0u, 1u, 7u, 64u, 100u, 1000003u}) {
+        for (const int sockets : {1, 2, 3, 4, 8}) {
+            const SocketPartition p(n, sockets);
+            vertex_t covered = 0;
+            vertex_t expect_next = 0;
+            for (int s = 0; s < sockets; ++s) {
+                const auto [first, last] = p.range(s);
+                ASSERT_EQ(first, expect_next) << "n=" << n << " s=" << s;
+                ASSERT_LE(first, last);
+                covered += last - first;
+                expect_next = last;
+            }
+            ASSERT_EQ(covered, n) << "n=" << n << " sockets=" << sockets;
+        }
+    }
+}
+
+TEST(SocketPartition, SocketOfMatchesRanges) {
+    const SocketPartition p(1000, 4);
+    for (int s = 0; s < 4; ++s) {
+        const auto [first, last] = p.range(s);
+        for (vertex_t v = first; v < last; ++v)
+            ASSERT_EQ(p.socket_of(v), s) << "v=" << v;
+    }
+}
+
+TEST(SocketPartition, BlockAssignmentIsContiguous) {
+    const SocketPartition p(100, 4);
+    EXPECT_EQ(p.socket_of(0), 0);
+    EXPECT_EQ(p.socket_of(24), 0);
+    EXPECT_EQ(p.socket_of(25), 1);
+    EXPECT_EQ(p.socket_of(99), 3);
+    EXPECT_EQ(p.size(0), 25u);
+}
+
+TEST(SocketPartition, MoreSocketsThanVertices) {
+    const SocketPartition p(3, 8);
+    vertex_t total = 0;
+    for (int s = 0; s < 8; ++s) total += p.size(s);
+    EXPECT_EQ(total, 3u);
+    for (vertex_t v = 0; v < 3; ++v) {
+        const int s = p.socket_of(v);
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, 8);
+        const auto [first, last] = p.range(s);
+        ASSERT_GE(v, first);
+        ASSERT_LT(v, last);
+    }
+}
+
+TEST(SocketPartition, SingleSocketOwnsEverything) {
+    const SocketPartition p(12345, 1);
+    EXPECT_EQ(p.socket_of(0), 0);
+    EXPECT_EQ(p.socket_of(12344), 0);
+    EXPECT_EQ(p.size(0), 12345u);
+}
+
+TEST(SocketPartition, NonDivisibleTailGoesToLastSocket) {
+    const SocketPartition p(10, 3);  // blocks of 4: 4, 4, 2
+    EXPECT_EQ(p.size(0), 4u);
+    EXPECT_EQ(p.size(1), 4u);
+    EXPECT_EQ(p.size(2), 2u);
+}
+
+TEST(SocketPartition, ZeroVertices) {
+    const SocketPartition p(0, 4);
+    for (int s = 0; s < 4; ++s) EXPECT_EQ(p.size(s), 0u);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/reorder.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+bool is_permutation_of_n(const std::vector<vertex_t>& perm, vertex_t n) {
+    if (perm.size() != n) return false;
+    std::vector<bool> hit(n, false);
+    for (const vertex_t p : perm) {
+        if (p >= n || hit[p]) return false;
+        hit[p] = true;
+    }
+    return true;
+}
+
+TEST(Reorder, DegreeOrderPutsHubsFirst) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 8192;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const auto perm = degree_descending_order(g);
+    ASSERT_TRUE(is_permutation_of_n(perm, g.num_vertices()));
+
+    const CsrGraph h = apply_vertex_permutation(g, perm);
+    // New ids must be sorted by non-increasing degree.
+    for (vertex_t v = 0; v + 1 < h.num_vertices(); ++v)
+        ASSERT_GE(h.degree(v), h.degree(v + 1)) << "at " << v;
+    EXPECT_EQ(h.degree(0), compute_degree_stats(g).max_degree);
+}
+
+TEST(Reorder, DegreeOrderIsStableForTies) {
+    const CsrGraph g = test::cycle_graph(8);  // all degree 2
+    const auto perm = degree_descending_order(g);
+    for (vertex_t v = 0; v < 8; ++v) EXPECT_EQ(perm[v], v);  // identity
+}
+
+TEST(Reorder, BfsOrderOnPathFromEndIsIdentity) {
+    const CsrGraph g = test::path_graph(20);
+    const auto perm = bfs_visit_order(g, 0);
+    for (vertex_t v = 0; v < 20; ++v) EXPECT_EQ(perm[v], v);
+}
+
+TEST(Reorder, BfsOrderRootGetsIdZero) {
+    const CsrGraph g = test::path_graph(20);
+    const auto perm = bfs_visit_order(g, 7);
+    EXPECT_EQ(perm[7], 0u);
+    ASSERT_TRUE(is_permutation_of_n(perm, 20));
+}
+
+TEST(Reorder, BfsOrderAppendsUnreached) {
+    const CsrGraph g = test::two_cliques(3);  // {0,1,2} and {3,4,5}
+    const auto perm = bfs_visit_order(g, 4);
+    ASSERT_TRUE(is_permutation_of_n(perm, 6));
+    // Reached clique occupies ids 0..2; unreached keeps order in 3..5.
+    EXPECT_EQ(perm[4], 0u);
+    EXPECT_LT(perm[3], 3u);
+    EXPECT_LT(perm[5], 3u);
+    EXPECT_EQ(perm[0], 3u);
+    EXPECT_EQ(perm[1], 4u);
+    EXPECT_EQ(perm[2], 5u);
+}
+
+TEST(Reorder, ApplyIdentityPermutationPreservesGraph) {
+    const CsrGraph g = test::two_cliques(4);
+    std::vector<vertex_t> identity(g.num_vertices());
+    std::iota(identity.begin(), identity.end(), vertex_t{0});
+    EXPECT_TRUE(g == apply_vertex_permutation(g, identity));
+}
+
+TEST(Reorder, PermutationPreservesDistances) {
+    RmatParams params;
+    params.scale = 9;
+    params.num_edges = 4000;
+    const CsrGraph g = csr_from_edges(generate_rmat(params));
+    const auto perm = degree_descending_order(g);
+    const CsrGraph h = apply_vertex_permutation(g, perm);
+
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    const vertex_t root = 5;
+    const BfsResult rg = bfs(g, root, serial);
+    const BfsResult rh = bfs(h, perm[root], serial);
+    EXPECT_EQ(rg.vertices_visited, rh.vertices_visited);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(rg.level[v], rh.level[perm[v]]) << "vertex " << v;
+}
+
+TEST(Reorder, ApplyRejectsNonPermutations) {
+    const CsrGraph g = test::path_graph(4);
+    std::vector<vertex_t> short_perm = {0, 1, 2};
+    EXPECT_THROW(apply_vertex_permutation(g, short_perm), std::invalid_argument);
+    std::vector<vertex_t> dup = {0, 1, 1, 3};
+    EXPECT_THROW(apply_vertex_permutation(g, dup), std::invalid_argument);
+    std::vector<vertex_t> oob = {0, 1, 2, 9};
+    EXPECT_THROW(apply_vertex_permutation(g, oob), std::invalid_argument);
+}
+
+TEST(Reorder, BfsOrderInvalidRootThrows) {
+    const CsrGraph g = test::path_graph(4);
+    EXPECT_THROW(bfs_visit_order(g, 4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "runtime/aligned_buffer.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/env.hpp"
+#include "runtime/prng.hpp"
+#include "runtime/timer.hpp"
+#include "runtime/topology.hpp"
+
+namespace sge {
+namespace {
+
+// ---------- PRNG ----------
+
+TEST(Prng, SplitMix64MatchesReferenceVector) {
+    // Reference outputs for seed 1234567 from the public-domain
+    // splitmix64.c reference implementation.
+    SplitMix64 sm(1234567);
+    EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+    EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+    EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(Prng, DeterministicPerSeed) {
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, NextBelowStaysInBounds) {
+    Xoshiro256 rng(7);
+    for (std::uint64_t bound : {2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Prng, NextBelowCoversRangeRoughlyUniformly) {
+    Xoshiro256 rng(11);
+    constexpr std::uint64_t kBuckets = 8;
+    constexpr int kDraws = 80000;
+    std::uint64_t counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+    for (const std::uint64_t c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets * 0.9);
+        EXPECT_LT(c, kDraws / kBuckets * 1.1);
+    }
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.next_double();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+// ---------- cacheline ----------
+
+TEST(CacheLine, PaddedOccupiesFullLines) {
+    static_assert(sizeof(CachePadded<int>) == kCacheLineSize);
+    static_assert(alignof(CachePadded<int>) == kCacheLineSize);
+    static_assert(sizeof(CachePadded<char[100]>) == 2 * kCacheLineSize);
+    CachePadded<int> p(41);
+    EXPECT_EQ(*p + 1, 42);
+}
+
+TEST(CacheLine, RoundUp) {
+    EXPECT_EQ(round_up_to_cacheline(0), 0u);
+    EXPECT_EQ(round_up_to_cacheline(1), kCacheLineSize);
+    EXPECT_EQ(round_up_to_cacheline(64), 64u);
+    EXPECT_EQ(round_up_to_cacheline(65), 128u);
+}
+
+// ---------- AlignedBuffer ----------
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+    AlignedBuffer<std::uint32_t> buf(1000);
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+}
+
+TEST(AlignedBuffer, ZeroedConstruction) {
+    AlignedBuffer<std::uint64_t> buf(4096, /*zeroed=*/true);
+    for (std::size_t i = 0; i < buf.size(); ++i) ASSERT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+    AlignedBuffer<int> a(16, true);
+    a[3] = 99;
+    int* const p = a.data();
+    AlignedBuffer<int> b(std::move(a));
+    EXPECT_EQ(b.data(), p);
+    EXPECT_EQ(b[3], 99);
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+    AlignedBuffer<int> buf;
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.size(), 0u);
+    AlignedBuffer<int> zero(0);
+    EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBuffer, SpanViewsData) {
+    AlignedBuffer<int> buf(8, true);
+    buf[5] = 7;
+    auto s = buf.span();
+    EXPECT_EQ(s.size(), 8u);
+    EXPECT_EQ(s[5], 7);
+}
+
+// ---------- env ----------
+
+TEST(Env, StringIntBool) {
+    ::setenv("SGE_TEST_STR", "hello", 1);
+    ::setenv("SGE_TEST_INT", "-42", 1);
+    ::setenv("SGE_TEST_BOOL", "Yes", 1);
+    ::setenv("SGE_TEST_BAD", "zzz", 1);
+    EXPECT_EQ(env_string("SGE_TEST_STR").value(), "hello");
+    EXPECT_EQ(env_int("SGE_TEST_INT", 0), -42);
+    EXPECT_TRUE(env_bool("SGE_TEST_BOOL", false));
+    EXPECT_EQ(env_int("SGE_TEST_BAD", 17), 17);
+    EXPECT_TRUE(env_bool("SGE_TEST_BAD", true));
+    EXPECT_FALSE(env_string("SGE_TEST_MISSING_XYZ").has_value());
+    EXPECT_EQ(env_int("SGE_TEST_MISSING_XYZ", 5), 5);
+    ::unsetenv("SGE_TEST_STR");
+    ::unsetenv("SGE_TEST_INT");
+    ::unsetenv("SGE_TEST_BOOL");
+    ::unsetenv("SGE_TEST_BAD");
+}
+
+// ---------- Timer ----------
+
+TEST(Timer, MeasuresElapsedTime) {
+    WallTimer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const double s = t.seconds();
+    EXPECT_GE(s, 0.009);
+    EXPECT_LT(s, 5.0);
+    t.reset();
+    EXPECT_LT(t.seconds(), 0.009);
+}
+
+// ---------- Topology ----------
+
+TEST(Topology, EmulatedShape) {
+    const Topology t = Topology::emulate(4, 8, 2);
+    EXPECT_EQ(t.sockets(), 4);
+    EXPECT_EQ(t.cores_per_socket(), 8);
+    EXPECT_EQ(t.smt_per_core(), 2);
+    EXPECT_EQ(t.max_threads(), 64);
+    EXPECT_TRUE(t.emulated());
+}
+
+TEST(Topology, PaperMachines) {
+    EXPECT_EQ(Topology::nehalem_ep().max_threads(), 16);
+    EXPECT_EQ(Topology::nehalem_ex().max_threads(), 64);
+}
+
+TEST(Topology, SocketMajorPlacement) {
+    // 2x4x2 EP: threads 0-3 socket 0, 4-7 socket 1, then SMT wraps.
+    const Topology t = Topology::nehalem_ep();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(t.socket_of_thread(i), 0) << i;
+    for (int i = 4; i < 8; ++i) EXPECT_EQ(t.socket_of_thread(i), 1) << i;
+    for (int i = 8; i < 12; ++i) EXPECT_EQ(t.socket_of_thread(i), 0) << i;
+    for (int i = 12; i < 16; ++i) EXPECT_EQ(t.socket_of_thread(i), 1) << i;
+}
+
+TEST(Topology, SocketsUsed) {
+    const Topology t = Topology::nehalem_ex();  // 4x8x2
+    EXPECT_EQ(t.sockets_used(1), 1);
+    EXPECT_EQ(t.sockets_used(8), 1);
+    EXPECT_EQ(t.sockets_used(9), 2);
+    EXPECT_EQ(t.sockets_used(32), 4);
+    EXPECT_EQ(t.sockets_used(64), 4);
+}
+
+TEST(Topology, EmulatedHasNoCpuPinning) {
+    const Topology t = Topology::emulate(2, 2, 1);
+    EXPECT_EQ(t.cpu_of_thread(0), -1);
+    EXPECT_EQ(t.cpu_of_thread(100), -1);
+}
+
+TEST(Topology, DetectReturnsSaneShape) {
+    const Topology t = Topology::detect();
+    EXPECT_GE(t.sockets(), 1);
+    EXPECT_GE(t.cores_per_socket(), 1);
+    EXPECT_GE(t.max_threads(), 1);
+    EXPECT_FALSE(t.emulated());
+    EXPECT_GE(t.cpu_of_thread(0), 0);  // at least CPU 0 exists
+}
+
+TEST(Topology, DescribeMentionsShape) {
+    const std::string d = Topology::emulate(4, 8, 2).describe();
+    EXPECT_NE(d.find("4 sockets"), std::string::npos);
+    EXPECT_NE(d.find("emulated"), std::string::npos);
+}
+
+TEST(Topology, DegenerateInputsClampToOne) {
+    const Topology t = Topology::emulate(0, 0, 0);
+    EXPECT_EQ(t.sockets(), 1);
+    EXPECT_EQ(t.max_threads(), 1);
+    EXPECT_EQ(t.socket_of_thread(0), 0);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "concurrency/spsc_ring.hpp"
+
+namespace sge {
+namespace {
+
+constexpr std::uint64_t kEmpty = ~0ULL;
+using Ring = SpscRing<std::uint64_t, kEmpty>;
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+    EXPECT_EQ(Ring(1).capacity(), 2u);
+    EXPECT_EQ(Ring(2).capacity(), 2u);
+    EXPECT_EQ(Ring(3).capacity(), 4u);
+    EXPECT_EQ(Ring(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, StartsEmpty) {
+    Ring ring(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, FifoOrder) {
+    Ring ring(16);
+    for (std::uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(ring.try_push(i * 7));
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const auto v = ring.try_pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i * 7);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PushFailsWhenFull) {
+    Ring ring(4);
+    for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+    EXPECT_FALSE(ring.try_push(99));
+    EXPECT_EQ(ring.try_pop().value(), 0u);
+    EXPECT_TRUE(ring.try_push(99));  // slot freed
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+    Ring ring(4);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(ring.try_push(i));
+        ASSERT_EQ(ring.try_pop().value(), i);
+    }
+}
+
+TEST(SpscRing, PopBulkDrains) {
+    Ring ring(16);
+    for (std::uint64_t i = 0; i < 10; ++i) ring.try_push(i);
+    std::uint64_t out[16];
+    EXPECT_EQ(ring.pop_bulk(out, 4), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+    EXPECT_EQ(ring.pop_bulk(out, 16), 6u);
+    for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], i + 4);
+    EXPECT_EQ(ring.pop_bulk(out, 16), 0u);
+}
+
+TEST(SpscRing, ProducerConsumerStressPreservesSequence) {
+    Ring ring(64);
+    constexpr std::uint64_t kCount = 200000;
+
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            while (!ring.try_push(i)) std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t expected = 0;
+    bool ok = true;
+    while (expected < kCount) {
+        const auto v = ring.try_pop();
+        if (!v) {
+            std::this_thread::yield();
+            continue;
+        }
+        if (*v != expected) {
+            ok = false;
+            break;
+        }
+        ++expected;
+    }
+    producer.join();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(expected, kCount);
+}
+
+TEST(SpscRing, BulkConsumerStress) {
+    Ring ring(32);
+    constexpr std::uint64_t kCount = 100000;
+
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            while (!ring.try_push(i)) std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t out[8];
+    std::uint64_t expected = 0;
+    bool ok = true;
+    while (expected < kCount && ok) {
+        const std::size_t k = ring.pop_bulk(out, 8);
+        if (k == 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (std::size_t j = 0; j < k; ++j) {
+            if (out[j] != expected++) {
+                ok = false;
+                break;
+            }
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(expected, kCount);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/bfs.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "runtime/prng.hpp"
+#include "stream/dynamic_graph.hpp"
+#include "stream/incremental_bfs.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+// ---------- DynamicGraph ----------
+
+TEST(DynamicGraph, InsertQueryRemove) {
+    DynamicGraph g(4);
+    EXPECT_EQ(g.num_vertices(), 4u);
+    EXPECT_EQ(g.num_arcs(), 0u);
+
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_EQ(g.num_arcs(), 4u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_EQ(g.degree(1), 2u);
+
+    EXPECT_TRUE(g.remove_edge(0, 1));
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+    EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(DynamicGraph, SelfLoopCountsOneArc) {
+    DynamicGraph g(2);
+    g.add_edge(1, 1);
+    EXPECT_EQ(g.num_arcs(), 1u);
+    EXPECT_TRUE(g.has_edge(1, 1));
+    EXPECT_TRUE(g.remove_edge(1, 1));
+    EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(DynamicGraph, AddVertexGrows) {
+    DynamicGraph g(2);
+    const vertex_t v = g.add_vertex();
+    EXPECT_EQ(v, 2u);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    g.add_edge(0, v);
+    EXPECT_TRUE(g.has_edge(v, 0));
+}
+
+TEST(DynamicGraph, OutOfRangeThrows) {
+    DynamicGraph g(3);
+    EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+    EXPECT_THROW((void)g.degree(3), std::out_of_range);
+}
+
+TEST(DynamicGraph, SnapshotMatchesBuilder) {
+    // Same edges through both paths must yield identical CSR structure.
+    UniformParams params;
+    params.num_vertices = 500;
+    params.degree = 4;
+    const EdgeList edges = generate_uniform(params);
+
+    BuildOptions opts;
+    opts.deduplicate = false;  // DynamicGraph keeps multiplicity
+    opts.remove_self_loops = false;
+    const CsrGraph built = csr_from_edges(edges, opts);
+
+    DynamicGraph dynamic(params.num_vertices);
+    for (const Edge& e : edges) dynamic.add_edge(e.src, e.dst);
+    EXPECT_TRUE(built == dynamic.snapshot());
+}
+
+TEST(DynamicGraph, RoundTripFromStatic) {
+    const CsrGraph g = test::two_cliques(5);
+    const DynamicGraph dynamic(g);
+    EXPECT_TRUE(g == dynamic.snapshot());
+    EXPECT_EQ(dynamic.num_arcs(), g.num_edges());
+}
+
+// ---------- IncrementalBfs ----------
+
+TEST(IncrementalBfs, InitialLevelsMatchBatchBfs) {
+    const CsrGraph g = test::cycle_graph(20);
+    const DynamicGraph dynamic(g);
+    const IncrementalBfs inc(dynamic, 0);
+
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    const BfsResult batch = bfs(g, 0, opts);
+    for (vertex_t v = 0; v < 20; ++v)
+        EXPECT_EQ(inc.level(v), batch.level[v]) << v;
+    EXPECT_EQ(inc.reached_count(), 20u);
+}
+
+TEST(IncrementalBfs, ShortcutEdgeLowersLevels) {
+    // Path 0..9; adding edge {0, 9} folds the far end to level 1.
+    DynamicGraph g(10);
+    for (vertex_t v = 0; v + 1 < 10; ++v) g.add_edge(v, v + 1);
+    IncrementalBfs inc(g, 0);
+    EXPECT_EQ(inc.level(9), 9u);
+
+    g.add_edge(0, 9);
+    const std::size_t changed = inc.on_edge_added(0, 9);
+    EXPECT_GT(changed, 0u);
+    EXPECT_EQ(inc.level(9), 1u);
+    EXPECT_EQ(inc.level(8), 2u);
+    EXPECT_EQ(inc.level(5), 5u);  // middle unaffected (min of two waves)
+}
+
+TEST(IncrementalBfs, ConnectsNewComponent) {
+    DynamicGraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    IncrementalBfs inc(g, 0);
+    EXPECT_EQ(inc.reached_count(), 2u);
+    EXPECT_FALSE(inc.reached(4));
+
+    g.add_edge(1, 3);
+    inc.on_edge_added(1, 3);
+    EXPECT_EQ(inc.reached_count(), 5u);
+    EXPECT_EQ(inc.level(3), 2u);
+    EXPECT_EQ(inc.level(5), 4u);
+    EXPECT_FALSE(inc.reached(2));
+}
+
+TEST(IncrementalBfs, EdgeBetweenUnreachedIsDeferred) {
+    DynamicGraph g(5);
+    g.add_edge(0, 1);
+    IncrementalBfs inc(g, 0);
+
+    g.add_edge(3, 4);  // island edge
+    EXPECT_EQ(inc.on_edge_added(3, 4), 0u);
+    EXPECT_FALSE(inc.reached(3));
+
+    // Later the island connects; the earlier edge must now count.
+    g.add_edge(1, 3);
+    inc.on_edge_added(1, 3);
+    EXPECT_TRUE(inc.reached(4));
+    EXPECT_EQ(inc.level(4), 3u);
+}
+
+TEST(IncrementalBfs, VertexGrowth) {
+    DynamicGraph g(2);
+    g.add_edge(0, 1);
+    IncrementalBfs inc(g, 0);
+    const vertex_t v = g.add_vertex();
+    inc.on_vertex_added();
+    EXPECT_FALSE(inc.reached(v));
+    g.add_edge(1, v);
+    inc.on_edge_added(1, v);
+    EXPECT_EQ(inc.level(v), 2u);
+}
+
+TEST(IncrementalBfs, RandomStreamMatchesBatchRecompute) {
+    // Property test: after every insertion, incremental levels must
+    // equal a from-scratch BFS on the snapshot.
+    Xoshiro256 rng(2024);
+    constexpr vertex_t kN = 300;
+    DynamicGraph g(kN);
+    IncrementalBfs inc(g, 0);
+
+    BfsOptions opts;
+    opts.engine = BfsEngine::kSerial;
+    for (int step = 0; step < 400; ++step) {
+        const auto u = static_cast<vertex_t>(rng.next_below(kN));
+        auto v = static_cast<vertex_t>(rng.next_below(kN - 1));
+        if (v >= u) ++v;
+        g.add_edge(u, v);
+        inc.on_edge_added(u, v);
+
+        if (step % 20 != 0) continue;  // full audit every 20 insertions
+        const BfsResult batch = bfs(g.snapshot(), 0, opts);
+        for (vertex_t w = 0; w < kN; ++w)
+            ASSERT_EQ(inc.level(w), batch.level[w])
+                << "step " << step << " vertex " << w;
+        ASSERT_EQ(inc.reached_count(), batch.vertices_visited);
+    }
+}
+
+TEST(IncrementalBfs, RebuildAfterRemoval) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    IncrementalBfs inc(g, 0);
+    EXPECT_EQ(inc.level(3), 3u);
+
+    g.remove_edge(1, 2);
+    inc.rebuild();
+    EXPECT_FALSE(inc.reached(2));
+    EXPECT_EQ(inc.reached_count(), 2u);
+}
+
+TEST(IncrementalBfs, InvalidRootThrows) {
+    DynamicGraph g(3);
+    EXPECT_THROW(IncrementalBfs(g, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sge

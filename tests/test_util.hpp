@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared fixtures for the sge test suite: tiny graphs with known
+// structure plus comparison helpers against the serial reference.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sge::test {
+
+/// 0 - 1 - 2 - ... - (n-1): worst case for level count.
+inline CsrGraph path_graph(vertex_t n) {
+    EdgeList edges(n);
+    for (vertex_t v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+    return csr_from_edges(edges);
+}
+
+/// Hub 0 connected to 1..n-1: one fat level.
+inline CsrGraph star_graph(vertex_t n) {
+    EdgeList edges(n);
+    for (vertex_t v = 1; v < n; ++v) edges.add(0, v);
+    return csr_from_edges(edges);
+}
+
+/// Simple cycle over n vertices.
+inline CsrGraph cycle_graph(vertex_t n) {
+    EdgeList edges(n);
+    for (vertex_t v = 0; v < n; ++v) edges.add(v, (v + 1) % n);
+    return csr_from_edges(edges);
+}
+
+/// Two disjoint cliques of size k (vertices [0,k) and [k,2k)).
+inline CsrGraph two_cliques(vertex_t k) {
+    EdgeList edges(2 * k);
+    for (vertex_t base : {vertex_t{0}, k})
+        for (vertex_t a = base; a < base + k; ++a)
+            for (vertex_t b = a + 1; b < base + k; ++b) edges.add(a, b);
+    return csr_from_edges(edges);
+}
+
+/// Asserts two BFS results agree: identical reached sets and levels.
+/// Parent arrays may legitimately differ (any BFS tree is valid), so
+/// only reachability and distance are compared.
+inline void expect_equivalent(const BfsResult& expected, const BfsResult& actual) {
+    ASSERT_EQ(expected.parent.size(), actual.parent.size());
+    EXPECT_EQ(expected.vertices_visited, actual.vertices_visited);
+    EXPECT_EQ(expected.edges_traversed, actual.edges_traversed);
+    EXPECT_EQ(expected.num_levels, actual.num_levels);
+    ASSERT_EQ(expected.level.size(), actual.level.size());
+    for (std::size_t v = 0; v < expected.parent.size(); ++v) {
+        const bool e_reached = expected.parent[v] != kInvalidVertex;
+        const bool a_reached = actual.parent[v] != kInvalidVertex;
+        ASSERT_EQ(e_reached, a_reached) << "reachability differs at vertex " << v;
+        if (!expected.level.empty()) {
+            ASSERT_EQ(expected.level[v], actual.level[v])
+                << "level differs at vertex " << v;
+        }
+    }
+}
+
+}  // namespace sge::test

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "concurrency/thread_team.hpp"
+
+namespace sge {
+namespace {
+
+TEST(ThreadTeam, RunsEveryWorkerExactlyOnce) {
+    ThreadTeam team(8, Topology::emulate(2, 4, 1));
+    std::atomic<int> hits[8] = {};
+    team.run([&](int tid) { hits[tid].fetch_add(1); });
+    for (int t = 0; t < 8; ++t) EXPECT_EQ(hits[t].load(), 1) << t;
+}
+
+TEST(ThreadTeam, ReusableAcrossRegions) {
+    ThreadTeam team(4, Topology::emulate(1, 4, 1));
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round)
+        team.run([&](int) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadTeam, SocketMapping) {
+    ThreadTeam team(16, Topology::nehalem_ep());
+    EXPECT_EQ(team.size(), 16);
+    EXPECT_EQ(team.sockets_used(), 2);
+    EXPECT_EQ(team.socket_of(0), 0);
+    EXPECT_EQ(team.socket_of(4), 1);
+    EXPECT_EQ(team.socket_of(8), 0);  // SMT wrap
+}
+
+TEST(ThreadTeam, SingleSocketWhenFewThreads) {
+    ThreadTeam team(4, Topology::nehalem_ep());
+    EXPECT_EQ(team.sockets_used(), 1);
+}
+
+TEST(ThreadTeam, PropagatesWorkerException) {
+    ThreadTeam team(4, Topology::emulate(1, 4, 1));
+    EXPECT_THROW(
+        team.run([](int tid) {
+            if (tid == 2) throw std::runtime_error("worker 2 failed");
+        }),
+        std::runtime_error);
+    // The team must survive a throwing region.
+    std::atomic<int> total{0};
+    team.run([&](int) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadTeam, ZeroThreadsClampsToOne) {
+    ThreadTeam team(0, Topology::emulate(1, 1, 1));
+    EXPECT_EQ(team.size(), 1);
+    std::atomic<int> ran{0};
+    team.run([&](int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadTeam, WorkersSeeDistinctTids) {
+    ThreadTeam team(12, Topology::emulate(3, 4, 1));
+    std::vector<std::atomic<int>> seen(12);
+    team.run([&](int tid) { seen[static_cast<std::size_t>(tid)].fetch_add(1); });
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadTeam, OversubscriptionStillCompletes) {
+    // 64 workers on however few CPUs this host has: the team and the
+    // paper's emulated-topology mode must not deadlock.
+    ThreadTeam team(64, Topology::nehalem_ex());
+    std::atomic<int> total{0};
+    team.run([&](int) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 64);
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrency/ticket_lock.hpp"
+
+namespace sge {
+namespace {
+
+TEST(TicketLock, BasicLockUnlock) {
+    TicketLock lock;
+    lock.lock();
+    lock.unlock();
+    lock.lock();
+    lock.unlock();
+}
+
+TEST(TicketLock, TryLockOnFreeLockSucceeds) {
+    TicketLock lock;
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(TicketLock, TryLockOnHeldLockFails) {
+    TicketLock lock;
+    lock.lock();
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(TicketLock, WorksWithLockGuard) {
+    TicketLock lock;
+    {
+        std::lock_guard guard(lock);
+    }
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(TicketLock, MutualExclusionStress) {
+    TicketLock lock;
+    // Deliberately non-atomic counter: without mutual exclusion the
+    // increments race and the final total comes up short.
+    std::uint64_t counter = 0;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                std::lock_guard guard(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(TicketLock, CriticalSectionsDoNotInterleave) {
+    TicketLock lock;
+    int inside = 0;        // non-atomic on purpose: protected by the lock
+    bool violated = false;
+    constexpr int kThreads = 6;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 5000; ++i) {
+                std::lock_guard guard(lock);
+                if (++inside != 1) violated = true;
+                --inside;
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(violated);
+}
+
+}  // namespace
+}  // namespace sge

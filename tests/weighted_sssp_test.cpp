@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "analytics/sssp.hpp"
+#include "core/bfs.hpp"
+#include "gen/rmat.hpp"
+#include "gen/uniform.hpp"
+#include "graph/builder.hpp"
+#include "graph/weighted.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+/// 0 --1-- 1 --1-- 2
+///  \--5-------/        (direct 0-2 edge of weight 5)
+WeightedCsrGraph diamond() {
+    EdgeList edges(3);
+    edges.add(0, 1);
+    edges.add(1, 2);
+    edges.add(0, 2);
+    CsrGraph g = csr_from_edges(edges);
+    // Hand-build weights matching the sorted CSR adjacency.
+    AlignedBuffer<weight_t> w(static_cast<std::size_t>(g.num_edges()));
+    for (vertex_t u = 0; u < 3; ++u) {
+        const auto adj = g.neighbors(u);
+        const auto base = g.offsets()[u];
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+            const vertex_t v = adj[i];
+            const bool direct02 = (u == 0 && v == 2) || (u == 2 && v == 0);
+            w[base + i] = direct02 ? 5 : 1;
+        }
+    }
+    return WeightedCsrGraph(std::move(g), std::move(w));
+}
+
+// ---------- WeightedCsrGraph ----------
+
+TEST(WeightedGraph, WeightsAlignWithNeighbors) {
+    const WeightedCsrGraph g = diamond();
+    const auto adj = g.neighbors(0);
+    const auto w = g.weights(0);
+    ASSERT_EQ(adj.size(), w.size());
+    for (std::size_t i = 0; i < adj.size(); ++i)
+        EXPECT_EQ(w[i], adj[i] == 2 ? 5u : 1u);
+}
+
+TEST(WeightedGraph, RejectsMismatchedWeightCount) {
+    CsrGraph g = test::path_graph(4);
+    AlignedBuffer<weight_t> w(2);  // wrong: graph has 6 arcs
+    EXPECT_THROW(WeightedCsrGraph(std::move(g), std::move(w)),
+                 std::invalid_argument);
+}
+
+TEST(WeightedGraph, RandomWeightsAreSymmetricAndInRange) {
+    UniformParams params;
+    params.num_vertices = 500;
+    params.degree = 6;
+    const WeightedCsrGraph g = with_random_weights(
+        csr_from_edges(generate_uniform(params)), 3, 17, 9);
+
+    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+        const auto adj = g.neighbors(u);
+        const auto w = g.weights(u);
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+            ASSERT_GE(w[i], 3u);
+            ASSERT_LE(w[i], 17u);
+            // Find the reverse arc and compare weights.
+            const vertex_t v = adj[i];
+            const auto radj = g.neighbors(v);
+            const auto rw = g.weights(v);
+            for (std::size_t j = 0; j < radj.size(); ++j) {
+                if (radj[j] == u) {
+                    ASSERT_EQ(w[i], rw[j])
+                        << "asymmetric weight on edge " << u << "-" << v;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+TEST(WeightedGraph, RejectsInvertedRange) {
+    EXPECT_THROW(
+        with_random_weights(test::path_graph(3), 10, 5, 1),
+        std::invalid_argument);
+}
+
+// ---------- Dijkstra ----------
+
+TEST(Dijkstra, PrefersLongerCheaperPath) {
+    const WeightedCsrGraph g = diamond();
+    const SsspResult r = dijkstra(g, 0);
+    EXPECT_EQ(r.distance[0], 0u);
+    EXPECT_EQ(r.distance[1], 1u);
+    EXPECT_EQ(r.distance[2], 2u);  // via 1, not the direct weight-5 edge
+    EXPECT_EQ(r.parent[2], 1u);
+    EXPECT_EQ(r.vertices_settled, 3u);
+}
+
+TEST(Dijkstra, UnreachableVerticesStayInfinite) {
+    CsrGraph g = test::two_cliques(3);
+    const WeightedCsrGraph wg = with_random_weights(std::move(g), 1, 5, 2);
+    const SsspResult r = dijkstra(wg, 0);
+    for (vertex_t v = 3; v < 6; ++v) {
+        EXPECT_EQ(r.distance[v], kInfiniteDistance);
+        EXPECT_EQ(r.parent[v], kInvalidVertex);
+    }
+}
+
+TEST(Dijkstra, UnitWeightsReduceToBfsLevels) {
+    UniformParams params;
+    params.num_vertices = 1500;
+    params.degree = 5;
+    CsrGraph g = csr_from_edges(generate_uniform(params));
+
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    const BfsResult b = bfs(g, 7, serial);
+
+    const WeightedCsrGraph wg = with_random_weights(std::move(g), 1, 1, 3);
+    const SsspResult r = dijkstra(wg, 7);
+    for (vertex_t v = 0; v < wg.num_vertices(); ++v) {
+        if (b.level[v] == kInvalidLevel) {
+            ASSERT_EQ(r.distance[v], kInfiniteDistance);
+        } else {
+            ASSERT_EQ(r.distance[v], b.level[v]) << "vertex " << v;
+        }
+    }
+}
+
+TEST(Dijkstra, OutOfRangeSourceThrows) {
+    const WeightedCsrGraph g = diamond();
+    EXPECT_THROW(dijkstra(g, 3), std::out_of_range);
+}
+
+TEST(Dijkstra, TreeEdgesSatisfyDistanceEquation) {
+    RmatParams params;
+    params.scale = 10;
+    params.num_edges = 6000;
+    const WeightedCsrGraph g = with_random_weights(
+        csr_from_edges(generate_rmat(params)), 1, 100, 5);
+    const SsspResult r = dijkstra(g, 0);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+        if (v == 0 || r.parent[v] == kInvalidVertex) continue;
+        const vertex_t p = r.parent[v];
+        // distance[v] == distance[p] + w(p, v) for the tree edge.
+        const auto adj = g.neighbors(p);
+        const auto w = g.weights(p);
+        bool found = false;
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+            if (adj[i] == v && r.distance[p] + w[i] == r.distance[v]) {
+                found = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(found) << "vertex " << v;
+    }
+}
+
+// ---------- delta-stepping ----------
+
+class DeltaSteppingMatchesDijkstra
+    : public ::testing::TestWithParam<weight_t> {};
+
+TEST_P(DeltaSteppingMatchesDijkstra, OnRandomWeightedGraphs) {
+    UniformParams params;
+    params.num_vertices = 2000;
+    params.degree = 6;
+    const WeightedCsrGraph g = with_random_weights(
+        csr_from_edges(generate_uniform(params)), 1, 50, 13);
+
+    const SsspResult expected = dijkstra(g, 42);
+    DeltaSteppingOptions opts;
+    opts.delta = GetParam();
+    const SsspResult actual = delta_stepping(g, 42, opts);
+
+    ASSERT_EQ(expected.distance.size(), actual.distance.size());
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(expected.distance[v], actual.distance[v]) << "vertex " << v;
+    EXPECT_EQ(expected.vertices_settled, actual.vertices_settled);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, DeltaSteppingMatchesDijkstra,
+                         ::testing::Values(0,   // auto (mean weight)
+                                           1,   // Dijkstra-like buckets
+                                           5, 25,
+                                           1000  // Bellman-Ford-like
+                                           ),
+                         [](const auto& info) {
+                             return info.param == 0
+                                        ? std::string("auto")
+                                        : "delta_" + std::to_string(info.param);
+                         });
+
+TEST(DeltaStepping, DiamondShortcut) {
+    const WeightedCsrGraph g = diamond();
+    const SsspResult r = delta_stepping(g, 0);
+    EXPECT_EQ(r.distance[2], 2u);
+    EXPECT_EQ(r.parent[2], 1u);
+}
+
+TEST(DeltaStepping, RmatWithHeavyTail) {
+    RmatParams params;
+    params.scale = 11;
+    params.num_edges = 1 << 14;
+    const WeightedCsrGraph g = with_random_weights(
+        csr_from_edges(generate_rmat(params)), 1, 1000, 21);
+    const SsspResult expected = dijkstra(g, 1);
+    const SsspResult actual = delta_stepping(g, 1);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(expected.distance[v], actual.distance[v]) << "vertex " << v;
+}
+
+TEST(DeltaStepping, SingleVertex) {
+    CsrGraph g = csr_from_edges(EdgeList(1));
+    const WeightedCsrGraph wg(std::move(g), AlignedBuffer<weight_t>(0));
+    const SsspResult r = delta_stepping(wg, 0);
+    EXPECT_EQ(r.distance[0], 0u);
+    EXPECT_EQ(r.vertices_settled, 1u);
+}
+
+}  // namespace
+}  // namespace sge
