@@ -65,14 +65,14 @@ PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& options) {
                 }
             }
             shared.dangling_parts[static_cast<std::size_t>(tid)] = dangling;
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 double total = 0.0;
                 for (const double p : shared.dangling_parts) total += p;
                 shared.dangling_share = d * total / n;
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             // Pass 2: pull.
             double error = 0.0;
@@ -85,7 +85,7 @@ PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& options) {
                 error += std::fabs(next[v] - result.score[v]);
             }
             shared.error_parts[static_cast<std::size_t>(tid)] = error;
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 shared.error = 0.0;
@@ -95,10 +95,10 @@ PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& options) {
                 shared.stop = shared.error < options.tolerance ||
                               shared.iterations >= options.max_iterations;
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.stop) break;
         }
-    });
+    }, &barrier);
 
     result.iterations = shared.iterations;
     result.error = shared.error;

@@ -123,7 +123,7 @@ SsspResult parallel_delta_stepping(const WeightedCsrGraph& g, vertex_t source,
                     }
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             // ---- thread 0: merge staging, steer the next phase ----
             if (tid == 0) {
@@ -165,10 +165,10 @@ SsspResult parallel_delta_stepping(const WeightedCsrGraph& g, vertex_t source,
                 }
                 shared.cursor.store(0, std::memory_order_relaxed);
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
         }
-    });
+    }, &barrier);
 
     // Rebuild parents from final distances: CAS winners may have raced
     // their parent stores, so the tree is derived, not tracked. Any

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <vector>
 
 #include "concurrency/spsc_ring.hpp"
 #include "concurrency/ticket_lock.hpp"
+#include "runtime/fault.hpp"
 
 namespace sge {
 
@@ -42,23 +44,35 @@ class Channel {
 
     /// Producer side: enqueue `count` items. Never fails, never blocks
     /// on the consumer.
+    ///
+    /// Fault site `channel_push`: when armed and firing, the batch
+    /// bypasses the ring entirely and goes to the spill vector — the
+    /// exact path a full ring takes, exercised on demand. No item is
+    /// ever lost either way.
     void push_batch(const T* items, std::size_t count) {
         std::lock_guard guard(producer_lock_);
         std::size_t i = 0;
-        while (i < count && ring_.try_push(items[i])) ++i;
+        if (!fault::should_fire(fault::Site::kChannelPush)) [[likely]]
+            while (i < count && ring_.try_push(items[i])) ++i;
         if (i < count) spill_.insert(spill_.end(), items + i, items + count);
-        pushed_ += count;
+        pushed_.fetch_add(count, std::memory_order_relaxed);
     }
 
     /// Consumer side: dequeue up to `max` items into `out`; returns the
     /// number dequeued. Returns 0 only when the channel is drained (with
     /// respect to all push_batch calls that happened-before, e.g. across
     /// a barrier).
+    ///
+    /// Fault site `channel_pop`: when armed and firing, the drain is
+    /// throttled to a single item — a delayed-drain consumer. Callers
+    /// loop until 0, so throttling slows them down without dropping or
+    /// reordering anything they would not already tolerate.
     std::size_t pop_batch(T* out, std::size_t max) {
+        if (max > 1 && fault::should_fire(fault::Site::kChannelPop)) max = 1;
         std::lock_guard guard(consumer_lock_);
         std::size_t n = ring_.pop_bulk(out, max);
         if (n == max) {
-            popped_ += n;
+            popped_.fetch_add(n, std::memory_order_relaxed);
             return n;
         }
         // Ring dry: splice any spilled items into the consumer-side
@@ -71,14 +85,20 @@ class Channel {
         }
         while (n < max && pending_cursor_ < pending_.size())
             out[n++] = pending_[pending_cursor_++];
-        popped_ += n;
+        popped_.fetch_add(n, std::memory_order_relaxed);
         return n;
     }
 
-    /// Total items ever pushed/popped; exact only while quiescent.
-    /// The BFS uses these after barriers for termination accounting.
-    [[nodiscard]] std::size_t pushed() const noexcept { return pushed_; }
-    [[nodiscard]] std::size_t popped() const noexcept { return popped_; }
+    /// Total items ever pushed/popped. Exact while quiescent (the BFS
+    /// uses these after barriers for termination accounting); safe to
+    /// read concurrently for diagnostics (watchdog reports), where they
+    /// are merely a momentary snapshot.
+    [[nodiscard]] std::size_t pushed() const noexcept {
+        return pushed_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t popped() const noexcept {
+        return popped_.load(std::memory_order_relaxed);
+    }
 
     [[nodiscard]] std::size_t ring_capacity() const noexcept {
         return ring_.capacity();
@@ -91,8 +111,10 @@ class Channel {
     std::vector<T> spill_;         // guarded by producer_lock_
     std::vector<T> pending_;       // guarded by consumer_lock_
     std::size_t pending_cursor_ = 0;  // guarded by consumer_lock_
-    std::size_t pushed_ = 0;       // guarded by producer_lock_
-    std::size_t popped_ = 0;       // guarded by consumer_lock_
+    // Atomic (not lock-guarded) so diagnostics may snapshot them while
+    // workers are mid-level; writers still hold the respective lock.
+    std::atomic<std::size_t> pushed_{0};
+    std::atomic<std::size_t> popped_{0};
 };
 
 }  // namespace sge

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "concurrency/spin_barrier.hpp"
 #include "runtime/affinity.hpp"
+#include "runtime/stats.hpp"
 
 namespace sge {
 
@@ -22,36 +24,49 @@ ThreadTeam::~ThreadTeam() {
     for (auto& w : workers_) w.join();
 }
 
-void ThreadTeam::run(const std::function<void(int)>& fn) {
+void ThreadTeam::run(const std::function<void(int)>& fn,
+                     SpinBarrier* abort_barrier) {
     std::unique_lock lock(mutex_);
     job_ = &fn;
+    abort_barrier_ = abort_barrier;
     remaining_ = size();
     first_error_ = nullptr;
     ++epoch_;
     start_cv_.notify_all();
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
+    abort_barrier_ = nullptr;
     if (first_error_) std::rethrow_exception(first_error_);
 }
 
 void ThreadTeam::worker_main(int tid) {
-    pin_current_thread(topo_.cpu_of_thread(tid));
+    // Pinning is best-effort: a refusal (cpuset, container, fault
+    // injection) degrades this worker to unpinned placement — correct,
+    // just less local — and is surfaced via runtime_warnings().
+    const int cpu = topo_.cpu_of_thread(tid);
+    if (cpu >= 0 && !pin_current_thread(cpu)) note_pin_failure(cpu);
 
     std::uint64_t seen_epoch = 0;
     for (;;) {
         const std::function<void(int)>* job = nullptr;
+        SpinBarrier* abort_barrier = nullptr;
         {
             std::unique_lock lock(mutex_);
             start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
             if (shutdown_) return;
             seen_epoch = epoch_;
             job = job_;
+            abort_barrier = abort_barrier_;
         }
         std::exception_ptr error;
         try {
             (*job)(tid);
         } catch (...) {
             error = std::current_exception();
+            // Poison the region's barrier *before* taking the team
+            // mutex so siblings spinning in arrive_and_wait are
+            // released immediately and the region can finish.
+            if (abort_barrier != nullptr) abort_barrier->abort();
         }
         {
             std::lock_guard guard(mutex_);

@@ -11,6 +11,8 @@
 
 namespace sge {
 
+class SpinBarrier;
+
 /// Persistent team of worker threads with socket-aware placement.
 ///
 /// Every parallel region in the library (BFS levels, generators' sanity
@@ -19,6 +21,13 @@ namespace sge {
 /// emulated topologies), and parked on a condition variable between
 /// regions — the BFS engines then synchronise *inside* a region with
 /// SpinBarrier, so the condvar cost is paid once per BFS, not per level.
+///
+/// Fault tolerance: a worker whose pin attempt fails degrades to an
+/// unpinned run (counted in runtime_warnings(), warned once). A region
+/// that synchronises internally with a SpinBarrier should pass that
+/// barrier to run(): the first worker exception then aborts the barrier,
+/// releasing siblings that would otherwise spin forever waiting for the
+/// thrower, so run() completes and rethrows in bounded time.
 class ThreadTeam {
   public:
     /// Spawns `threads` workers placed per `topo` (see
@@ -51,7 +60,15 @@ class ThreadTeam {
     /// Runs `fn(tid)` on every worker; returns when all have finished.
     /// Exceptions thrown by workers are rethrown (the first one) on the
     /// caller after all workers complete the region.
-    void run(const std::function<void(int)>& fn);
+    ///
+    /// When the region synchronises internally on `abort_barrier`, pass
+    /// it here: the first worker that throws poisons the barrier, so
+    /// waiting siblings observe `arrive_and_wait() == false`, unwind,
+    /// and the region completes instead of deadlocking. Workers must
+    /// honor that contract by returning when arrive_and_wait yields
+    /// false.
+    void run(const std::function<void(int)>& fn,
+             SpinBarrier* abort_barrier = nullptr);
 
   private:
     void worker_main(int tid);
@@ -63,6 +80,7 @@ class ThreadTeam {
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;
     const std::function<void(int)>* job_ = nullptr;
+    SpinBarrier* abort_barrier_ = nullptr;
     std::uint64_t epoch_ = 0;
     int remaining_ = 0;
     bool shutdown_ = false;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,23 @@ struct BfsOptions {
     /// defaults.
     double hybrid_alpha = 14.0;
     double hybrid_beta = 24.0;
+
+    /// Opt-in watchdog deadline for the whole traversal, in seconds.
+    /// <= 0 disables (the default; SGE_BFS_WATCHDOG_MS then supplies a
+    /// process-wide default). When the deadline passes before the run
+    /// completes, the engine aborts its barrier — unwinding every
+    /// worker in bounded time — and throws BfsDeadlineError carrying a
+    /// diagnostic snapshot (level reached, queue depths, channel
+    /// counters) instead of hanging.
+    double watchdog_seconds = 0.0;
+};
+
+/// Thrown by the parallel engines when BfsOptions::watchdog_seconds (or
+/// SGE_BFS_WATCHDOG_MS) expires before the traversal completes. what()
+/// carries the stall diagnostics.
+class BfsDeadlineError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
 };
 
 /// Per-level instrumentation (Figure 4 reproduces from this).

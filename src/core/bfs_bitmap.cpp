@@ -44,7 +44,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
         std::atomic<std::uint64_t> edges{0};
         int current = 0;
         bool done = false;
-        std::uint32_t levels_run = 0;
+        // Atomic so the watchdog may snapshot it mid-run.
+        std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
     std::vector<LevelAccum> stats;
@@ -55,6 +56,14 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
     const bool double_check = options.bitmap_double_check;
 
+    LevelWatchdog watchdog(resolve_watchdog_seconds(options), barrier, [&] {
+        return "level=" +
+               std::to_string(shared.levels_run.load(std::memory_order_relaxed)) +
+               " q0=" + std::to_string(queues[0].size()) +
+               " q1=" + std::to_string(queues[1].size()) + " visited=" +
+               std::to_string(shared.visited.load(std::memory_order_relaxed));
+    });
+
     WallTimer timer;
     team.run([&](int tid) {
         const auto [init_begin, init_end] = split_range(n, threads, tid);
@@ -62,7 +71,7 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
             parent[v] = kInvalidVertex;
             if (level != nullptr) level[v] = kInvalidLevel;
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         if (tid == 0) {
             bitmap.test_and_set(root);
@@ -71,7 +80,7 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
             queues[0].push_one(root);
             shared.visited.fetch_add(1, std::memory_order_relaxed);
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         LocalBatch<vertex_t> staged(options.batch_size);
         level_t depth = 0;
@@ -117,7 +126,7 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
             }
             total_edges += counters.edges_scanned;
             counters.flush_into(stats[depth]);
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 stats[depth].seconds = level_timer.seconds();
@@ -125,26 +134,28 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 cq.reset();
                 shared.current = 1 - cur;
                 shared.done = nq.size() == 0;
-                ++shared.levels_run;
+                shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = nq.size();
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
             ++depth;
         }
 
         shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
         shared.visited.fetch_add(discovered, std::memory_order_relaxed);
-    });
+    }, &barrier);
+    finish_watchdog(watchdog, "bfs_bitmap");
     result.seconds = timer.seconds();
 
+    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited.load(std::memory_order_relaxed);
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
-    result.num_levels = shared.levels_run;
-    if (options.collect_stats) copy_level_stats(result, stats, shared.levels_run);
+    result.num_levels = levels;
+    if (options.collect_stats) copy_level_stats(result, stats, levels);
     return result;
 }
 

@@ -66,7 +66,8 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
         bool convert_to_bits = false;
         bool convert_to_queue = false;
         bool done = false;
-        std::uint32_t levels_run = 0;
+        // Atomic so the watchdog may snapshot it mid-run.
+        std::atomic<std::uint32_t> levels_run{0};
         std::uint64_t frontier_size = 1;
     } shared;
 
@@ -78,6 +79,15 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
     const bool double_check = options.bitmap_double_check;
 
+    LevelWatchdog watchdog(resolve_watchdog_seconds(options), barrier, [&] {
+        return "level=" +
+               std::to_string(shared.levels_run.load(std::memory_order_relaxed)) +
+               " q0=" + std::to_string(queues[0].size()) +
+               " q1=" + std::to_string(queues[1].size()) + " visited=" +
+               std::to_string(
+                   shared.visited_count.load(std::memory_order_relaxed));
+    });
+
     WallTimer timer;
     team.run([&](int tid) {
         const auto [init_begin, init_end] = split_range(n, threads, tid);
@@ -85,7 +95,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             parent[v] = kInvalidVertex;
             if (level != nullptr) level[v] = kInvalidLevel;
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         if (tid == 0) {
             visited.test_and_set(root);
@@ -97,7 +107,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             shared.explored_degree.fetch_add(g.degree(root),
                                              std::memory_order_relaxed);
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         LocalBatch<vertex_t> staged(options.batch_size);
         level_t depth = 0;
@@ -183,7 +193,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             shared.explored_degree.fetch_add(discovered_degree,
                                              std::memory_order_relaxed);
             counters.flush_into(stats[depth]);
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 stats[depth].seconds = level_timer.seconds();
@@ -231,13 +241,13 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 shared.next_frontier_size.store(0, std::memory_order_relaxed);
                 shared.next_frontier_degree.store(0, std::memory_order_relaxed);
                 shared.range_cursor.store(0, std::memory_order_relaxed);
-                ++shared.levels_run;
+                shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = next_size;
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
 
             // Representation conversion phases (both threads-parallel).
@@ -254,7 +264,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 // The mirroring consumed now_cq's scan cursor; that is
                 // fine — the bottom-up level never reads the queue, and
                 // the end-of-level reset rewinds it before any reuse.
-                barrier.arrive_and_wait();
+                if (!barrier.arrive_and_wait()) return;
             } else if (shared.convert_to_queue) {
                 // The bottom-up level filled fb (current) but no queue:
                 // harvest set bits into the current queue.
@@ -278,23 +288,25 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     now_cq.push_batch(staged.data(), staged.size());
                     staged.clear();
                 }
-                barrier.arrive_and_wait();
+                if (!barrier.arrive_and_wait()) return;
                 if (tid == 0)
                     shared.range_cursor.store(0, std::memory_order_relaxed);
-                barrier.arrive_and_wait();
+                if (!barrier.arrive_and_wait()) return;
             }
             ++depth;
         }
-    });
+    }, &barrier);
+    finish_watchdog(watchdog, "bfs_hybrid");
     result.seconds = timer.seconds();
 
+    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited_count.load(std::memory_order_relaxed);
     // Library convention: ma = sum of degrees over visited vertices, so
     // rates are comparable across engines regardless of how much work
     // the bottom-up levels skipped.
     result.edges_traversed = shared.explored_degree.load(std::memory_order_relaxed);
-    result.num_levels = shared.levels_run;
-    if (options.collect_stats) copy_level_stats(result, stats, shared.levels_run);
+    result.num_levels = levels;
+    if (options.collect_stats) copy_level_stats(result, stats, levels);
     return result;
 }
 

@@ -71,7 +71,8 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         std::atomic<std::uint64_t> edges{0};
         int current = 0;
         bool done = false;
-        std::uint32_t levels_run = 0;
+        // Atomic so the watchdog may snapshot it mid-run.
+        std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
     std::vector<LevelAccum> stats;
@@ -81,6 +82,25 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
     const bool double_check = options.bitmap_double_check;
+
+    // Diagnostic snapshot for the watchdog: level reached plus, per
+    // socket, both queue depths and the channel's pushed/popped totals
+    // (all read from atomics; a momentary view, not a quiescent one).
+    LevelWatchdog watchdog(resolve_watchdog_seconds(options), barrier, [&] {
+        std::string diag =
+            "level=" +
+            std::to_string(shared.levels_run.load(std::memory_order_relaxed)) +
+            " visited=" +
+            std::to_string(shared.visited.load(std::memory_order_relaxed));
+        for (int s = 0; s < sockets; ++s) {
+            diag += "; socket " + std::to_string(s) +
+                    ": q0=" + std::to_string(queues[0][s].size()) +
+                    " q1=" + std::to_string(queues[1][s].size()) +
+                    " channel pushed=" + std::to_string(channels[s]->pushed()) +
+                    " popped=" + std::to_string(channels[s]->popped());
+        }
+        return diag;
+    });
 
     WallTimer timer;
     team.run([&](int tid) {
@@ -98,7 +118,7 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 if (level != nullptr) level[v] = kInvalidLevel;
             }
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         if (tid == 0) {
             bitmap.test_and_set(root);
@@ -107,7 +127,7 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             queues[0][partition.socket_of(root)].push_one(root);
             shared.visited.fetch_add(1, std::memory_order_relaxed);
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         LocalBatch<vertex_t> staged(options.batch_size);
         std::vector<LocalBatch<std::uint64_t>> remote;
@@ -188,7 +208,7 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 nq.push_batch(staged.data(), staged.size());
                 staged.clear();
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             // ---- Phase 2: drain tuples other sockets sent us. ----
             for (;;) {
@@ -204,7 +224,7 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             }
             total_edges += counters.edges_scanned;
             counters.flush_into(stats[depth]);
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 stats[depth].seconds = level_timer.seconds();
@@ -216,26 +236,28 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 }
                 shared.current = 1 - cur;
                 shared.done = next_frontier == 0;
-                ++shared.levels_run;
+                shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = next_frontier;
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
             ++depth;
         }
 
         shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
         shared.visited.fetch_add(discovered, std::memory_order_relaxed);
-    });
+    }, &barrier);
+    finish_watchdog(watchdog, "bfs_multisocket");
     result.seconds = timer.seconds();
 
+    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited.load(std::memory_order_relaxed);
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
-    result.num_levels = shared.levels_run;
-    if (options.collect_stats) copy_level_stats(result, stats, shared.levels_run);
+    result.num_levels = levels;
+    if (options.collect_stats) copy_level_stats(result, stats, levels);
     return result;
 }
 

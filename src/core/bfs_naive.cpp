@@ -31,7 +31,8 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
         std::atomic<std::uint64_t> edges{0};
         int current = 0;   // queue index; written by tid 0 between barriers
         bool done = false; // written by tid 0 between barriers
-        std::uint32_t levels_run = 0;
+        // Atomic so the watchdog may snapshot it mid-run.
+        std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
     std::vector<LevelAccum> stats;
@@ -41,6 +42,13 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
 
+    LevelWatchdog watchdog(resolve_watchdog_seconds(options), barrier, [&] {
+        return "level=" +
+               std::to_string(shared.levels_run.load(std::memory_order_relaxed)) +
+               " q0=" + std::to_string(queues[0].size()) +
+               " q1=" + std::to_string(queues[1].size());
+    });
+
     WallTimer timer;
     team.run([&](int tid) {
         // Parallel init: each worker owns an equal slice of the arrays.
@@ -49,7 +57,7 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             parent[v] = kInvalidVertex;
             if (level != nullptr) level[v] = kInvalidLevel;
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         if (tid == 0) {
             parent[root] = root;
@@ -57,7 +65,7 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             queues[0].push_one(root);
             shared.visited.fetch_add(1, std::memory_order_relaxed);
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         level_t depth = 0;
         std::uint64_t total_edges = 0;
@@ -93,7 +101,7 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             }
             total_edges += counters.edges_scanned;
             counters.flush_into(stats[depth]);
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 stats[depth].seconds = level_timer.seconds();
@@ -101,26 +109,28 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 cq.reset();
                 shared.current = 1 - cur;
                 shared.done = nq.size() == 0;
-                ++shared.levels_run;
+                shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = nq.size();
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
             ++depth;
         }
 
         shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
         shared.visited.fetch_add(discovered, std::memory_order_relaxed);
-    });
+    }, &barrier);
+    finish_watchdog(watchdog, "bfs_naive");
     result.seconds = timer.seconds();
 
+    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited.load(std::memory_order_relaxed);
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
-    result.num_levels = shared.levels_run;
-    if (options.collect_stats) copy_level_stats(result, stats, shared.levels_run);
+    result.num_levels = levels;
+    if (options.collect_stats) copy_level_stats(result, stats, levels);
     return result;
 }
 

@@ -55,7 +55,7 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
             frontier[v] = 0;
             next[v].store(0, std::memory_order_relaxed);
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         if (tid == 0) {
             for (std::size_t i = 0; i < sources.size(); ++i) {
@@ -65,13 +65,13 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                 frontier[s] |= bit;
             }
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         // Level-0 callbacks: each worker reports the sources in its slice.
         for (std::size_t v = begin; v < end; ++v)
             if (frontier[v] != 0)
                 visit(tid, 0, static_cast<vertex_t>(v), frontier[v]);
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         level_t level = 0;
         for (;;) {
@@ -90,7 +90,7 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                         next[w].fetch_or(propagate, std::memory_order_relaxed);
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             // Swap + report: each worker publishes its slice of `next`.
             std::uint64_t local_active = 0;
@@ -105,18 +105,18 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                 }
             }
             shared.active.fetch_add(local_active, std::memory_order_relaxed);
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (tid == 0) {
                 shared.done = shared.active.load(std::memory_order_relaxed) == 0;
                 shared.active.store(0, std::memory_order_relaxed);
                 ++shared.levels;
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
             ++level;
         }
-    });
+    }, &barrier);
 
     return shared.levels;
 }

@@ -122,7 +122,7 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
             me.frontier.push_back(local_root);
             ++me.visited_count;
         }
-        barrier.arrive_and_wait();
+        if (!barrier.arrive_and_wait()) return;
 
         std::vector<LocalBatch<std::uint64_t>> outgoing;
         outgoing.reserve(static_cast<std::size_t>(ranks));
@@ -163,7 +163,7 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
                 }
             }
             me.edges_scanned += counters.edges_scanned;
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             // ---- superstep phase 2: drain my inbox ----
             Channel<std::uint64_t, kEmptyVisit>& mine = *inbox[rank];
@@ -180,7 +180,7 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
             shared.frontier_total.fetch_add(me.next_frontier.size(),
                                             std::memory_order_relaxed);
             counters.flush_into(stats[depth]);
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
 
             if (rank == 0) {
                 const std::uint64_t total =
@@ -193,14 +193,14 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
                     stats[depth + 1].frontier_size = total;
                 }
             }
-            barrier.arrive_and_wait();
+            if (!barrier.arrive_and_wait()) return;
             if (shared.done) break;
 
             me.frontier.swap(me.next_frontier);
             me.next_frontier.clear();
             ++depth;
         }
-    });
+    }, &barrier);
 
     // ---- gather: assemble the global result from the rank slices ----
     BfsResult result;

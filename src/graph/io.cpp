@@ -1,8 +1,11 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -13,6 +16,8 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'G', 'E', 'C', 'S', 'R', '0', '1'};
 constexpr char kWeightedMagic[8] = {'S', 'G', 'E', 'W', 'S', 'R', '0', '1'};
+constexpr std::uint64_t kHeaderBytes =
+    sizeof(kMagic) + 2 * sizeof(std::uint64_t);  // magic + n + m
 
 void write_raw(std::ofstream& out, const void* p, std::size_t bytes) {
     out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
@@ -23,6 +28,37 @@ void read_raw(std::ifstream& in, void* p, std::size_t bytes) {
     in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
     if (static_cast<std::size_t>(in.gcount()) != bytes)
         throw std::runtime_error("read_csr: truncated file");
+}
+
+/// Size of an open stream in bytes (position is restored to 0).
+std::uint64_t stream_size(std::ifstream& in) {
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    if (size < 0) throw std::runtime_error("read_csr: cannot stat file size");
+    return static_cast<std::uint64_t>(size);
+}
+
+/// Validates the untrusted n/m header of a CSR container against the
+/// actual file size *before* any allocation, so a corrupt 16-byte
+/// header cannot demand a multi-GB buffer. `per_edge_bytes` is
+/// sizeof(vertex_t) (+ sizeof(weight_t) for the weighted format).
+void check_csr_header(const char* reader, const std::string& path,
+                      std::uint64_t file_bytes, std::uint64_t n,
+                      std::uint64_t m, std::uint64_t per_edge_bytes) {
+    const auto fail = [&](const char* why) {
+        throw std::runtime_error(std::string(reader) + ": " + why + ": " + path);
+    };
+    if (n >= kInvalidVertex) fail("vertex count out of range");
+    if (file_bytes < kHeaderBytes) fail("truncated file");
+    const std::uint64_t payload = file_bytes - kHeaderBytes;
+    const std::uint64_t offsets_bytes = (n + 1) * sizeof(edge_offset_t);
+    if (offsets_bytes > payload)
+        fail("header claims more vertices than the file holds");
+    if (m > (payload - offsets_bytes) / per_edge_bytes)
+        fail("header claims more edges than the file holds");
+    if (offsets_bytes + m * per_edge_bytes != payload)
+        fail("payload size does not match header");
 }
 
 }  // namespace
@@ -43,6 +79,7 @@ void write_csr(const CsrGraph& g, const std::string& path) {
 CsrGraph read_csr(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("read_csr: cannot open " + path);
+    const std::uint64_t file_bytes = stream_size(in);
 
     char magic[8];
     read_raw(in, magic, sizeof(magic));
@@ -53,8 +90,7 @@ CsrGraph read_csr(const std::string& path) {
     std::uint64_t m = 0;
     read_raw(in, &n, sizeof(n));
     read_raw(in, &m, sizeof(m));
-    if (n >= kInvalidVertex)
-        throw std::runtime_error("read_csr: vertex count out of range");
+    check_csr_header("read_csr", path, file_bytes, n, m, sizeof(vertex_t));
 
     AlignedBuffer<edge_offset_t> offsets(static_cast<std::size_t>(n) + 1);
     AlignedBuffer<vertex_t> targets(static_cast<std::size_t>(m));
@@ -87,6 +123,7 @@ void write_weighted_csr(const WeightedCsrGraph& g, const std::string& path) {
 WeightedCsrGraph read_weighted_csr(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("read_weighted_csr: cannot open " + path);
+    const std::uint64_t file_bytes = stream_size(in);
 
     char magic[8];
     read_raw(in, magic, sizeof(magic));
@@ -97,8 +134,8 @@ WeightedCsrGraph read_weighted_csr(const std::string& path) {
     std::uint64_t m = 0;
     read_raw(in, &n, sizeof(n));
     read_raw(in, &m, sizeof(m));
-    if (n >= kInvalidVertex)
-        throw std::runtime_error("read_weighted_csr: vertex count out of range");
+    check_csr_header("read_weighted_csr", path, file_bytes, n, m,
+                     sizeof(vertex_t) + sizeof(weight_t));
 
     AlignedBuffer<edge_offset_t> offsets(static_cast<std::size_t>(n) + 1);
     AlignedBuffer<vertex_t> targets(static_cast<std::size_t>(m));
@@ -114,6 +151,43 @@ WeightedCsrGraph read_weighted_csr(const std::string& path) {
     return WeightedCsrGraph(std::move(g), std::move(weights));
 }
 
+namespace {
+
+[[noreturn]] void edge_list_error(const std::string& path, std::size_t line_no,
+                                  const std::string& why) {
+    throw std::runtime_error("read_edge_list_text: " + path + ":" +
+                            std::to_string(line_no) + ": " + why);
+}
+
+/// Parses one vertex id starting at `*cursor`, advancing past it.
+/// Rejects signs (negative ids), non-digit tokens, overflow, and ids
+/// >= kInvalidVertex — sscanf("%llu") silently accepted all of these.
+vertex_t parse_vertex(const std::string& path, std::size_t line_no,
+                      const char*& cursor) {
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    if (*cursor == '\0')
+        edge_list_error(path, line_no, "expected two vertex ids");
+    if (*cursor == '-' || *cursor == '+')
+        edge_list_error(path, line_no,
+                        std::string("signed vertex id '") + cursor + "'");
+    if (!std::isdigit(static_cast<unsigned char>(*cursor)))
+        edge_list_error(path, line_no,
+                        std::string("non-numeric token '") + cursor + "'");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(cursor, &end, 10);
+    if (errno == ERANGE || id >= kInvalidVertex)
+        edge_list_error(path, line_no, "vertex id out of range");
+    if (end != cursor &&
+        std::isalpha(static_cast<unsigned char>(*end)))  // e.g. "12abc"
+        edge_list_error(path, line_no,
+                        std::string("non-numeric token '") + cursor + "'");
+    cursor = end;
+    return static_cast<vertex_t>(id);
+}
+
+}  // namespace
+
 EdgeList read_edge_list_text(const std::string& path) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("read_edge_list_text: cannot open " + path);
@@ -122,17 +196,20 @@ EdgeList read_edge_list_text(const std::string& path) {
     std::string line;
     vertex_t max_id = 0;
     bool any = false;
+    std::size_t line_no = 0;
     while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
         if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-        unsigned long long src = 0;
-        unsigned long long dst = 0;
-        if (std::sscanf(line.c_str(), "%llu %llu", &src, &dst) != 2)
-            throw std::runtime_error("read_edge_list_text: bad line: " + line);
-        if (src >= kInvalidVertex || dst >= kInvalidVertex)
-            throw std::runtime_error("read_edge_list_text: vertex id out of range");
-        edges.add(static_cast<vertex_t>(src), static_cast<vertex_t>(dst));
-        max_id = std::max({max_id, static_cast<vertex_t>(src),
-                           static_cast<vertex_t>(dst)});
+        const char* cursor = line.c_str();
+        const vertex_t src = parse_vertex(path, line_no, cursor);
+        const vertex_t dst = parse_vertex(path, line_no, cursor);
+        while (*cursor == ' ' || *cursor == '\t') ++cursor;
+        if (*cursor != '\0')
+            edge_list_error(path, line_no,
+                            std::string("trailing garbage '") + cursor + "'");
+        edges.add(src, dst);
+        max_id = std::max({max_id, src, dst});
         any = true;
     }
     if (any) edges.set_num_vertices(max_id + 1);

@@ -5,11 +5,15 @@
 #include <sched.h>
 #endif
 
+#include "runtime/fault.hpp"
+
 namespace sge {
 
 bool pin_current_thread(int cpu) noexcept {
 #ifdef __linux__
     if (cpu < 0) return false;
+    // Fault site `pin`: simulate the cpuset/container refusal path.
+    if (fault::should_fire(fault::Site::kPin)) return false;
     cpu_set_t set;
     CPU_ZERO(&set);
     CPU_SET(cpu, &set);

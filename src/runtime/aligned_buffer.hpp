@@ -9,6 +9,7 @@
 #include <type_traits>
 
 #include "runtime/cacheline.hpp"
+#include "runtime/fault.hpp"
 
 namespace sge {
 
@@ -36,6 +37,9 @@ class AlignedBuffer {
     explicit AlignedBuffer(std::size_t count, bool zeroed = false)
         : size_(count) {
         if (count == 0) return;
+        // Fault site `alloc`: simulate allocation failure with the same
+        // exception a real exhaustion would raise.
+        if (fault::should_fire(fault::Site::kAlloc)) throw std::bad_alloc{};
         const std::size_t bytes = round_up_to_cacheline(count * sizeof(T));
         void* p = std::aligned_alloc(kCacheLineSize, bytes);
         if (p == nullptr) throw std::bad_alloc{};

@@ -1,12 +1,45 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <span>
 #include <vector>
 
 namespace sge {
+
+/// Process-wide robustness counters. Degradations that used to be
+/// silent (a failed pin, an aborted barrier, a tripped watchdog) tick
+/// these so operators and tests can observe them; they are monotonic
+/// and never reset.
+struct RuntimeWarnings {
+    std::atomic<std::uint64_t> pin_failures{0};
+    std::atomic<std::uint64_t> barrier_aborts{0};
+    std::atomic<std::uint64_t> watchdog_fires{0};
+};
+
+inline RuntimeWarnings& runtime_warnings() noexcept {
+    static RuntimeWarnings w;
+    return w;
+}
+
+/// Records a failed thread-pin attempt. The run degrades to unpinned
+/// placement (correctness is unaffected; only locality suffers), so
+/// this warns on stderr exactly once per process and counts every
+/// occurrence in runtime_warnings().
+inline void note_pin_failure(int cpu) noexcept {
+    runtime_warnings().pin_failures.fetch_add(1, std::memory_order_relaxed);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_acq_rel))
+        std::fprintf(stderr,
+                     "sge: warning: failed to pin thread to CPU %d; "
+                     "continuing unpinned (further failures counted "
+                     "silently)\n",
+                     cpu);
+}
 
 /// Order statistics + moments of a sample — what the benchmark harness
 /// reports instead of single-shot numbers (multi-run medians are far

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,49 @@ TEST(SpinBarrier, SinglePartyNeverBlocks) {
     SpinBarrier barrier(1);
     for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
     EXPECT_EQ(barrier.parties(), 1);
+}
+
+TEST(SpinBarrier, NormalArrivalReturnsTrue) {
+    SpinBarrier barrier(2);
+    std::thread peer([&] {
+        for (int i = 0; i < 10; ++i) EXPECT_TRUE(barrier.arrive_and_wait());
+    });
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(barrier.arrive_and_wait());
+    peer.join();
+    EXPECT_FALSE(barrier.aborted());
+}
+
+TEST(SpinBarrier, AbortReleasesWaitersPromptly) {
+    // A waiter stuck at the barrier (its peer never arrives) must be
+    // released by abort() with a `false` return, in bounded time.
+    SpinBarrier barrier(2);
+    std::atomic<bool> released{false};
+    std::atomic<bool> result{true};
+    std::thread waiter([&] {
+        result.store(barrier.arrive_and_wait());
+        released.store(true);
+    });
+    // Give the waiter time to actually park in the spin loop.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(released.load());
+
+    const auto start = std::chrono::steady_clock::now();
+    barrier.abort();
+    waiter.join();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_TRUE(released.load());
+    EXPECT_FALSE(result.load());
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(SpinBarrier, AbortIsSticky) {
+    SpinBarrier barrier(4);
+    barrier.abort();
+    EXPECT_TRUE(barrier.aborted());
+    // Every later arrival bails out immediately — no party count needed.
+    for (int i = 0; i < 3; ++i) EXPECT_FALSE(barrier.arrive_and_wait());
+    barrier.abort();  // idempotent
+    EXPECT_TRUE(barrier.aborted());
 }
 
 TEST(SpinBarrier, PhasesDoNotOverlap) {

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <string>
+
+#include "concurrency/spin_barrier.hpp"
+#include "core/bfs.hpp"
+#include "core/engine_common.hpp"
+#include "core/validate.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/stats.hpp"
+
+namespace sge {
+namespace {
+
+using fault::Site;
+using fault::Trigger;
+
+/// End-to-end fault-injection stress: BFS under injected faults must
+/// either complete with a valid tree or fail with a clean, prompt
+/// error — never hang, crash, or return a corrupt result.
+class FaultBfsTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        fault::disarm_all();
+        if (!fault::compiled_in())
+            GTEST_SKIP() << "built with SGE_FAULT_INJECTION=OFF";
+        RmatParams params;
+        params.scale = 12;
+        params.num_edges = 16384;
+        params.seed = 7;
+        graph_ = csr_from_edges(generate_rmat(params));
+    }
+    void TearDown() override { fault::disarm_all(); }
+
+    static BfsOptions multisocket_options() {
+        BfsOptions options;
+        options.engine = BfsEngine::kMultiSocket;
+        options.threads = 8;
+        options.topology = Topology::emulate(2, 4, 1);
+        options.channel_capacity = 64;  // small ring: spill path is live
+        return options;
+    }
+
+    CsrGraph graph_;
+};
+
+TEST_F(FaultBfsTest, MultisocketSurvivesChannelFaults) {
+    // Channel faults are perturbations, not errors: forced spills and
+    // throttled drains exercise the overflow machinery but must never
+    // change the answer.
+    fault::reseed(99);
+    fault::arm(Site::kChannelPush, Trigger{.probability = 0.3, .nth = 0});
+    fault::arm(Site::kChannelPop, Trigger{.probability = 0.3, .nth = 0});
+    const BfsResult result = bfs(graph_, 0, multisocket_options());
+    fault::disarm_all();
+    EXPECT_GT(fault::hits(Site::kChannelPush), 0u);
+    const ValidationReport report = validate_bfs_tree(graph_, 0, result);
+    EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST_F(FaultBfsTest, BarrierFaultPropagatesQuickly) {
+    // A worker dying at a barrier must unwind the whole team and
+    // surface as FaultInjected in bounded time — not strand siblings.
+    fault::arm(Site::kBarrier, Trigger{.probability = 0.0, .nth = 20});
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(bfs(graph_, 0, multisocket_options()), fault::FaultInjected);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    fault::disarm_all();
+
+    // The same options must work again afterwards: nothing leaked.
+    const BfsResult result = bfs(graph_, 0, multisocket_options());
+    const ValidationReport report = validate_bfs_tree(graph_, 0, result);
+    EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST_F(FaultBfsTest, AllocFaultUnwindsCleanly) {
+    // Armed after the graph is built, the first engine-side aligned
+    // allocation throws std::bad_alloc; the run must unwind cleanly.
+    fault::arm(Site::kAlloc, Trigger{.probability = 0.0, .nth = 1});
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(bfs(graph_, 0, multisocket_options()), std::bad_alloc);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    fault::disarm_all();
+
+    const BfsResult result = bfs(graph_, 0, multisocket_options());
+    const ValidationReport report = validate_bfs_tree(graph_, 0, result);
+    EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST_F(FaultBfsTest, EveryParallelEngineSurvivesBarrierFault) {
+    for (const BfsEngine engine :
+         {BfsEngine::kNaive, BfsEngine::kBitmap, BfsEngine::kMultiSocket,
+          BfsEngine::kHybrid}) {
+        fault::arm(Site::kBarrier, Trigger{.probability = 0.0, .nth = 5});
+        BfsOptions options = multisocket_options();
+        options.engine = engine;
+        EXPECT_THROW(bfs(graph_, 0, options), fault::FaultInjected)
+            << to_string(engine);
+        fault::disarm_all();
+        const BfsResult result = bfs(graph_, 0, options);
+        const ValidationReport report = validate_bfs_tree(graph_, 0, result);
+        EXPECT_TRUE(report.ok) << to_string(engine) << ": " << report.error;
+    }
+}
+
+TEST(LevelWatchdogTest, FiresOnStalledBarrierAndCapturesDiagnostics) {
+    // A two-party barrier with only ever one arrival models a stalled
+    // level step: the watchdog must fire, capture the diagnostic, and
+    // release the waiter via abort.
+    SpinBarrier barrier(2);
+    detail::LevelWatchdog watchdog(0.05, barrier,
+                                   [] { return std::string("level=3 q0=17"); });
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(barrier.arrive_and_wait());  // released by the abort
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    watchdog.disarm();
+    EXPECT_TRUE(watchdog.fired());
+    EXPECT_EQ(watchdog.report(), "level=3 q0=17");
+    EXPECT_THROW(detail::finish_watchdog(watchdog, "test"), BfsDeadlineError);
+}
+
+TEST(LevelWatchdogTest, DisarmedBeforeDeadlineIsFree) {
+    SpinBarrier barrier(1);
+    detail::LevelWatchdog watchdog(60.0, barrier, [] { return std::string(); });
+    watchdog.disarm();
+    EXPECT_FALSE(watchdog.fired());
+    EXPECT_FALSE(barrier.aborted());
+    detail::finish_watchdog(watchdog, "test");  // must not throw
+}
+
+TEST(LevelWatchdogTest, ZeroDeadlineNeverArms) {
+    SpinBarrier barrier(1);
+    detail::LevelWatchdog watchdog(0.0, barrier, [] { return std::string(); });
+    watchdog.disarm();
+    EXPECT_FALSE(watchdog.fired());
+}
+
+TEST_F(FaultBfsTest, WatchdogConvertsStallIntoDiagnosticError) {
+    // Throttle the channel drain to one tuple per pop and give the run
+    // a deadline it cannot meet: the watchdog must abort the run and
+    // the engine must throw BfsDeadlineError carrying diagnostics.
+    fault::arm(Site::kChannelPop, Trigger{.probability = 1.0, .nth = 0});
+    BfsOptions options = multisocket_options();
+    options.watchdog_seconds = 0.001;
+    const std::uint64_t fires_before =
+        runtime_warnings().watchdog_fires.load(std::memory_order_relaxed);
+    try {
+        const BfsResult result = bfs(graph_, 0, options);
+        // Plausible on a very fast host: the run beat the deadline.
+        // Then the result must still be valid.
+        fault::disarm_all();
+        const ValidationReport report = validate_bfs_tree(graph_, 0, result);
+        EXPECT_TRUE(report.ok) << report.error;
+    } catch (const BfsDeadlineError& e) {
+        fault::disarm_all();
+        const std::string what = e.what();
+        EXPECT_NE(what.find("watchdog deadline exceeded"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("level="), std::string::npos) << what;
+        EXPECT_NE(what.find("socket"), std::string::npos) << what;
+        EXPECT_GT(runtime_warnings().watchdog_fires.load(
+                      std::memory_order_relaxed),
+                  fires_before);
+    }
+}
+
+}  // namespace
+}  // namespace sge

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "concurrency/spin_barrier.hpp"
 #include "concurrency/thread_team.hpp"
 
 namespace sge {
@@ -47,6 +49,33 @@ TEST(ThreadTeam, PropagatesWorkerException) {
         }),
         std::runtime_error);
     // The team must survive a throwing region.
+    std::atomic<int> total{0};
+    team.run([&](int) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadTeam, WorkerExceptionReleasesBarrierWaiters) {
+    // One worker throws while its siblings sit inside the registered
+    // barrier: the abort protocol must release them, run() must finish
+    // in bounded time, and the original exception must surface.
+    ThreadTeam team(4, Topology::emulate(1, 4, 1));
+    SpinBarrier barrier(4);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(
+        team.run(
+            [&](int tid) {
+                if (tid == 0) throw std::runtime_error("worker 0 failed");
+                // Siblings barrier forever; only the abort frees them.
+                while (barrier.arrive_and_wait()) {
+                }
+            },
+            &barrier),
+        std::runtime_error);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    EXPECT_TRUE(barrier.aborted());
+
+    // The team must survive: no leaked or wedged workers.
     std::atomic<int> total{0};
     team.run([&](int) { total.fetch_add(1); });
     EXPECT_EQ(total.load(), 4);
