@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json reports emitted by the fig* drivers.
+
+Usage:
+    python3 bench/check_bench_json.py FILE_OR_DIR [...]
+
+For each file (or every BENCH_*.json under each directory) the script
+checks the sge.bench schema: required top-level fields and their types,
+series entry shape (string name, integer params, numeric metrics), and a
+few semantic invariants (edges_per_second > 0 on rate series; per-level
+counter sanity on Figure 4-style level series). Exits non-zero and
+prints one line per violation when anything fails — made for CI.
+
+The schema itself is documented in docs/OBSERVABILITY.md.
+"""
+
+import json
+import pathlib
+import sys
+
+REQUIRED_TOP = {
+    "schema": str,
+    "schema_version": int,
+    "bench": str,
+    "figure": str,
+    "unix_time": int,
+    "scale_shift": int,
+    "obs_compiled_in": bool,
+    "series": list,
+}
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_entry(errors, path, i, entry):
+    where = f"series[{i}]"
+    if not isinstance(entry, dict):
+        fail(errors, path, f"{where} is not an object")
+        return
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        fail(errors, path, f"{where}.name missing or not a string")
+        return
+    params = entry.get("params")
+    if not isinstance(params, dict):
+        fail(errors, path, f"{where}.params missing or not an object")
+        return
+    for k, v in params.items():
+        if not isinstance(v, int) or isinstance(v, bool):
+            fail(errors, path, f"{where}.params.{k} is not an integer: {v!r}")
+    metrics = entry.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(errors, path, f"{where}.metrics missing or empty")
+        return
+    for k, v in metrics.items():
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            fail(errors, path, f"{where}.metrics.{k} is not a number: {v!r}")
+        elif v < 0:
+            fail(errors, path, f"{where}.metrics.{k} is negative: {v!r}")
+
+    # Semantic spot checks per series flavour.
+    eps = metrics.get("edges_per_second")
+    if eps is not None and not eps > 0:
+        fail(errors, path, f"{where} ({name}): edges_per_second not positive")
+    if "bitmap_checks" in metrics and "atomic_ops" in metrics:
+        if metrics["atomic_ops"] > metrics["bitmap_checks"]:
+            fail(errors, path,
+                 f"{where} ({name}): atomic_ops > bitmap_checks")
+    if "atomic_wins" in metrics and "atomic_ops" in metrics:
+        if metrics["atomic_ops"] and metrics["atomic_wins"] > metrics["atomic_ops"]:
+            fail(errors, path,
+                 f"{where} ({name}): atomic_wins > atomic_ops")
+
+
+def check_file(errors, path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, path, f"unreadable or invalid JSON: {exc}")
+        return
+
+    if not isinstance(doc, dict):
+        fail(errors, path, "top level is not an object")
+        return
+    for key, kind in REQUIRED_TOP.items():
+        value = doc.get(key)
+        if value is None:
+            fail(errors, path, f"missing required field '{key}'")
+        elif kind is int and isinstance(value, bool):
+            fail(errors, path, f"field '{key}' is a bool, expected {kind.__name__}")
+        elif not isinstance(value, kind):
+            fail(errors, path, f"field '{key}' is not a {kind.__name__}")
+    if errors:
+        return
+    if doc["schema"] != "sge.bench":
+        fail(errors, path, f"schema is {doc['schema']!r}, expected 'sge.bench'")
+    if doc["schema_version"] != 1:
+        fail(errors, path, f"unsupported schema_version {doc['schema_version']}")
+    expected_name = f"BENCH_{doc['bench']}.json"
+    if pathlib.Path(path).name != expected_name:
+        fail(errors, path, f"file name does not match bench slug "
+                           f"(expected {expected_name})")
+    workload = doc.get("workload")
+    if workload is not None:
+        if not isinstance(workload, dict) or \
+                not isinstance(workload.get("family"), str) or \
+                not isinstance(workload.get("base_vertices"), int):
+            fail(errors, path, "workload must be {family: str, base_vertices: int}")
+    if not doc["series"]:
+        fail(errors, path, "series is empty (driver added no entries)")
+    for i, entry in enumerate(doc["series"]):
+        check_entry(errors, path, i, entry)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    if not files:
+        print("check_bench_json: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        before = len(errors)
+        check_file(errors, str(path))
+        status = "FAIL" if len(errors) > before else "ok"
+        with open(path, encoding="utf-8") as fh:
+            try:
+                n = len(json.load(fh).get("series", []))
+            except (json.JSONDecodeError, AttributeError):
+                n = 0
+        print(f"  [{status}] {path} ({n} series entries)")
+    for message in errors:
+        print(f"check_bench_json: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "report.hpp"
 
 int main() {
     using namespace sge;
@@ -29,6 +30,12 @@ int main() {
     options.topology = Topology::emulate(1, 4, 1);
     options.collect_stats = true;
     const BfsResult r = bfs(g, 0, options);
+
+    BenchReport report("fig04_atomic_reduction", "Figure 4");
+    report.set_topology(options.topology->describe());
+    report.set_workload("uniform", 1 << 17);
+    report.add_levels("levels", {{"threads", options.threads}}, r.level_stats);
+    report.write();
 
     Table table({"level", "frontier", "edges scanned", "bitmap accesses",
                  "atomic ops", "atomics filtered"});

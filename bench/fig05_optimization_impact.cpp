@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "report.hpp"
 
 int main() {
     using namespace sge;
@@ -23,6 +24,10 @@ int main() {
 
     banner("Figure 5: impact of the optimizations (uniform graph, EP model)",
            "Fig. 5");
+
+    BenchReport report("fig05_optimization_impact", "Figure 5");
+    report.set_topology(Topology::nehalem_ep().describe());
+    report.set_workload("uniform", 1 << 16);
 
     const std::uint64_t n = scaled(1 << 16);
     const std::uint64_t m = 8 * n;
@@ -33,14 +38,15 @@ int main() {
 
     struct Variant {
         const char* label;
+        const char* slug;  // series name in the JSON report
         BfsEngine engine;
         bool double_check;
     };
     const Variant variants[] = {
-        {"base (Alg.1)", BfsEngine::kNaive, true},
-        {"+bitmap", BfsEngine::kBitmap, false},
-        {"+double-check", BfsEngine::kBitmap, true},
-        {"+channels (Alg.3)", BfsEngine::kMultiSocket, true},
+        {"base (Alg.1)", "base", BfsEngine::kNaive, true},
+        {"+bitmap", "bitmap", BfsEngine::kBitmap, false},
+        {"+double-check", "double_check", BfsEngine::kBitmap, true},
+        {"+channels (Alg.3)", "channels", BfsEngine::kMultiSocket, true},
     };
 
     Table table({"threads", "base (Alg.1)", "+bitmap", "+double-check",
@@ -53,11 +59,15 @@ int main() {
             options.threads = threads;
             options.topology = Topology::nehalem_ep();
             options.bitmap_double_check = variant.double_check;
-            row.push_back(fmt("%.1f ME/s", bfs_rate(g, options) / 1e6));
+            const double rate = bfs_rate(g, options);
+            report.add(variant.slug, {{"threads", threads}},
+                       {{"edges_per_second", rate}});
+            row.push_back(fmt("%.1f ME/s", rate / 1e6));
         }
         table.add_row(std::move(row));
     }
     table.print();
+    report.write();
 
     std::printf(
         "\npaper's shape: each optimization adds a constant-factor gain; "

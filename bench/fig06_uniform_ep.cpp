@@ -15,6 +15,7 @@ int main() {
 
     RateSuiteConfig cfg;
     cfg.figure = "Figure 6";
+    cfg.slug = "fig06_uniform_ep";
     cfg.family = "uniform";
     cfg.topology = Topology::nehalem_ep();
     cfg.threads = {1, 2, 4, 8, 16};

@@ -15,6 +15,7 @@ int main() {
 
     RateSuiteConfig cfg;
     cfg.figure = "Figure 7";
+    cfg.slug = "fig07_rmat_ep";
     cfg.family = "rmat";
     cfg.topology = Topology::nehalem_ep();
     cfg.threads = {1, 2, 4, 8, 16};

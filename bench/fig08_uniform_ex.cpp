@@ -14,6 +14,7 @@ int main() {
 
     RateSuiteConfig cfg;
     cfg.figure = "Figure 8";
+    cfg.slug = "fig08_uniform_ex";
     cfg.family = "uniform";
     cfg.topology = Topology::nehalem_ex();
     cfg.threads = {1, 2, 4, 8, 16, 32, 64};

@@ -11,6 +11,7 @@ int main() {
 
     RateSuiteConfig cfg;
     cfg.figure = "Figure 9";
+    cfg.slug = "fig09_rmat_ex";
     cfg.family = "rmat";
     cfg.topology = Topology::nehalem_ex();
     cfg.threads = {1, 2, 4, 8, 16, 32, 64};

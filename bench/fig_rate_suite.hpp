@@ -17,11 +17,13 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "report.hpp"
 
 namespace sge::bench {
 
 struct RateSuiteConfig {
     const char* figure;       // "Figure 6" ...
+    const char* slug;         // "fig06_uniform_ep" — names BENCH_<slug>.json
     const char* family;       // "uniform" | "rmat"
     Topology topology = Topology::nehalem_ep();  // or nehalem_ex()
     std::vector<int> threads; // x axis
@@ -56,6 +58,10 @@ inline void run_rate_suite(const RateSuiteConfig& cfg) {
     const GraphFactory make = family_factory(cfg.family);
     const std::uint64_t n = scaled(cfg.base_vertices);
 
+    BenchReport report(cfg.slug, cfg.figure);
+    report.set_topology(cfg.topology.describe());
+    report.set_workload(cfg.family, cfg.base_vertices);
+
     std::printf("machine model: %s\n", cfg.topology.describe().c_str());
     std::printf("workload family: %s, %llu vertices\n\n", cfg.family,
                 static_cast<unsigned long long>(n));
@@ -65,8 +71,20 @@ inline void run_rate_suite(const RateSuiteConfig& cfg) {
     for (std::size_t a = 0; a < cfg.arities.size(); ++a) {
         const std::uint64_t m = static_cast<std::uint64_t>(cfg.arities[a]) * n;
         const CsrGraph g = make(n, m, 1);
-        for (const int threads : cfg.threads)
-            rates[a].push_back(bfs_rate(g, suite_options(cfg.topology, threads)));
+        for (std::size_t t = 0; t < cfg.threads.size(); ++t) {
+            const int threads = cfg.threads[t];
+            const double rate =
+                bfs_rate(g, suite_options(cfg.topology, threads));
+            rates[a].push_back(rate);
+            report.add("rate_vs_threads",
+                       {{"threads", threads},
+                        {"arity", cfg.arities[a]},
+                        {"vertices", static_cast<std::int64_t>(n)},
+                        {"edges", static_cast<std::int64_t>(m)}},
+                       {{"edges_per_second", rate},
+                        {"speedup", rates[a][0] > 0 ? rate / rates[a][0]
+                                                    : 0.0}});
+        }
     }
 
     {
@@ -112,16 +130,25 @@ inline void run_rate_suite(const RateSuiteConfig& cfg) {
             std::vector<std::string> row{fmt_u64(nv)};
             for (const int arity : cfg.arities) {
                 const CsrGraph g = make(nv, static_cast<std::uint64_t>(arity) * nv, 2);
-                row.push_back(fmt(
-                    "%.1f",
-                    bfs_rate(g, suite_options(cfg.topology, cfg.threads.back())) /
-                        1e6));
+                const double rate =
+                    bfs_rate(g, suite_options(cfg.topology, cfg.threads.back()));
+                report.add("rate_vs_size",
+                           {{"threads", cfg.threads.back()},
+                            {"arity", arity},
+                            {"vertices", static_cast<std::int64_t>(nv)},
+                            {"edges", static_cast<std::int64_t>(
+                                          static_cast<std::uint64_t>(arity) *
+                                          nv)}},
+                           {{"edges_per_second", rate}});
+                row.push_back(fmt("%.1f", rate / 1e6));
             }
             table.add_row(std::move(row));
         }
         table.print();
         (void)max_arity;
     }
+
+    report.write();
 }
 
 }  // namespace sge::bench

@@ -49,6 +49,8 @@ struct Cli {
     int runs = 3;
     std::uint64_t seed = 1;
     bool validate = false;
+    bool stats = false;       // per-level counter table after the last run
+    std::string trace;        // Chrome trace JSON path (implies stats)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +62,8 @@ struct Cli {
         "          [--topology detect|ep|ex|SxCxT] [--threads N] [--runs N]\n"
         "          [--reorder none|shuffle|degree|bfs]\n"
         "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
-        "          [--width N] [--height N] [--seed N] [--validate]\n",
+        "          [--width N] [--height N] [--seed N] [--validate]\n"
+        "          [--stats] [--trace FILE.json]\n",
         argv0);
     std::exit(2);
 }
@@ -89,6 +92,8 @@ Cli parse(int argc, char** argv) {
         else if (arg == "--runs") cli.runs = std::atoi(next());
         else if (arg == "--seed") cli.seed = std::strtoull(next(), nullptr, 10);
         else if (arg == "--validate") cli.validate = true;
+        else if (arg == "--stats") cli.stats = true;
+        else if (arg == "--trace") cli.trace = next();
         else usage(argv[0]);
     }
     return cli;
@@ -210,6 +215,10 @@ int main(int argc, char** argv) {
     options.engine = parse_engine(cli.engine);
     options.topology = parse_topology(cli.topology);
     options.threads = cli.threads;
+    // --stats/--trace honour the SGE_OBS=0 runtime master switch.
+    const bool instrument =
+        (cli.stats || !cli.trace.empty()) && obs::enabled();
+    options.collect_stats = instrument;
     BfsRunner runner(options);
     std::printf("engine: %s, %d threads on %s\n",
                 to_string(runner.resolved_engine()).c_str(), runner.threads(),
@@ -217,13 +226,14 @@ int main(int argc, char** argv) {
 
     Xoshiro256 rng(cli.seed + 1000);
     double best = 0.0;
+    BfsResult last;  // instrumented runs keep the final traversal
     for (int run = 0; run < cli.runs; ++run) {
         vertex_t root;
         do {
             root = static_cast<vertex_t>(rng.next_below(graph.num_vertices()));
         } while (graph.degree(root) == 0);
 
-        const BfsResult result = runner.run(graph, root);
+        BfsResult result = runner.run(graph, root);
         const double meps = result.edges_per_second() / 1e6;
         best = std::max(best, meps);
         std::printf(
@@ -238,7 +248,41 @@ int main(int argc, char** argv) {
                 return 1;
             }
         }
+        if (instrument) last = std::move(result);
     }
     std::printf("best: %.1f million edges/second\n", best);
+
+    if (instrument && cli.stats) {
+        std::printf("\nper-level counters (last run%s):\n",
+                    obs::compiled_in()
+                        ? ""
+                        : "; extended columns need an SGE_OBS build");
+        std::printf(
+            "%5s %10s %12s %12s %12s %12s %12s %10s %10s %10s\n", "level",
+            "frontier", "edges", "checks", "skips", "atomics", "wins",
+            "remote", "batches", "barrier_us");
+        for (std::size_t d = 0; d < last.level_stats.size(); ++d) {
+            const BfsLevelStats& s = last.level_stats[d];
+            std::printf(
+                "%5zu %10llu %12llu %12llu %12llu %12llu %12llu %10llu "
+                "%10llu %10.1f\n",
+                d, static_cast<unsigned long long>(s.frontier_size),
+                static_cast<unsigned long long>(s.edges_scanned),
+                static_cast<unsigned long long>(s.bitmap_checks),
+                static_cast<unsigned long long>(s.bitmap_skips),
+                static_cast<unsigned long long>(s.atomic_ops),
+                static_cast<unsigned long long>(s.atomic_wins),
+                static_cast<unsigned long long>(s.remote_tuples),
+                static_cast<unsigned long long>(s.batches_pushed),
+                static_cast<double>(s.barrier_wait_ns) / 1000.0);
+        }
+    }
+    if (instrument && !cli.trace.empty()) {
+        const obs::ChromeTrace trace = make_bfs_trace(last, "graph_explorer");
+        if (!trace.write_file(cli.trace)) return 1;
+        std::printf("trace: %s (%zu spans; open in chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    cli.trace.c_str(), trace.span_count());
+    }
     return 0;
 }

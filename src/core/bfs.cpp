@@ -1,5 +1,7 @@
 #include "core/bfs.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "core/engine_common.hpp"
@@ -85,6 +87,63 @@ BfsResult BfsRunner::run(const CsrGraph& g, vertex_t root) {
 BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options) {
     BfsRunner runner(options);
     return runner.run(g, root);
+}
+
+obs::ChromeTrace make_bfs_trace(const BfsResult& result,
+                                const std::string& name) {
+    obs::ChromeTrace trace;
+    trace.set_process_name(name);
+
+    if (!result.thread_spans.empty()) {
+        int max_tid = 0;
+        for (const BfsThreadSpan& s : result.thread_spans)
+            max_tid = std::max(max_tid, s.thread);
+        for (int t = 0; t <= max_tid; ++t)
+            trace.set_thread_name(t, "worker " + std::to_string(t));
+        for (const BfsThreadSpan& s : result.thread_spans)
+            trace.add_span(s.thread, "level " + std::to_string(s.level),
+                           s.start_ns, s.end_ns,
+                           {{"level", static_cast<std::uint64_t>(s.level)}});
+    } else if (!result.level_stats.empty()) {
+        // No per-thread spans (serial engine, or SGE_OBS compiled out):
+        // synthesize one track from the per-level wall times so the
+        // trace still shows the level structure.
+        trace.set_thread_name(0, "levels");
+        std::uint64_t cursor = 0;
+        for (std::size_t d = 0; d < result.level_stats.size(); ++d) {
+            const auto ns = static_cast<std::uint64_t>(
+                result.level_stats[d].seconds * 1e9);
+            trace.add_span(0, "level " + std::to_string(d), cursor,
+                           cursor + ns,
+                           {{"level", static_cast<std::uint64_t>(d)}});
+            cursor += ns;
+        }
+    }
+
+    // Counter series, one sample per level boundary (timestamped with
+    // the cumulative per-level wall time so they line up with the spans
+    // in either mode).
+    std::uint64_t cursor = 0;
+    for (const BfsLevelStats& s : result.level_stats) {
+        trace.add_counter("frontier", cursor, {{"vertices", s.frontier_size}});
+        trace.add_counter("edges scanned", cursor, {{"edges", s.edges_scanned}});
+        const std::uint64_t wins = std::min(s.atomic_wins, s.atomic_ops);
+        trace.add_counter("atomics", cursor,
+                          {{"wins", s.atomic_ops > 0 ? wins : s.atomic_wins},
+                           {"wasted", s.atomic_ops > wins
+                                          ? s.atomic_ops - wins
+                                          : 0}});
+        trace.add_counter("plain-test skips", cursor,
+                          {{"skips", s.bitmap_skips}});
+        if (s.remote_tuples > 0)
+            trace.add_counter("remote tuples", cursor,
+                              {{"tuples", s.remote_tuples}});
+        if (s.barrier_wait_ns > 0)
+            trace.add_counter("barrier wait us", cursor,
+                              {{"us", s.barrier_wait_ns / 1000}});
+        cursor += static_cast<std::uint64_t>(s.seconds * 1e9);
+    }
+    return trace;
 }
 
 }  // namespace sge

@@ -10,6 +10,7 @@
 #include "concurrency/thread_team.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
+#include "runtime/obs.hpp"
 #include "runtime/topology.hpp"
 
 namespace sge {
@@ -93,7 +94,31 @@ class BfsDeadlineError : public std::runtime_error {
     using std::runtime_error::runtime_error;
 };
 
-/// Per-level instrumentation (Figure 4 reproduces from this).
+/// Buckets of the per-level channel-batch occupancy histogram: bucket i
+/// counts batches whose fill fraction lies in (i/8, (i+1)/8] of the
+/// configured batch capacity — bucket 7 is "flushed full" (the batching
+/// optimization working as designed), bucket 0 is "nearly empty"
+/// (end-of-level stragglers paying a whole lock acquisition for a
+/// handful of vertices).
+inline constexpr std::size_t kBatchOccupancyBuckets = 8;
+
+/// Histogram bucket for a batch of `size` items flushed from a staging
+/// buffer of `capacity` (see kBatchOccupancyBuckets). `size` is clamped
+/// to [1, capacity].
+[[nodiscard]] constexpr std::size_t batch_occupancy_bucket(
+    std::size_t size, std::size_t capacity) noexcept {
+    if (capacity == 0 || size == 0) return 0;
+    if (size > capacity) size = capacity;
+    return (size - 1) * kBatchOccupancyBuckets / capacity;
+}
+
+/// Per-level instrumentation (Figure 4 reproduces from this; see
+/// docs/OBSERVABILITY.md for the full counter glossary and
+/// docs/PERF_MODEL.md for which paper claim each field evidences).
+///
+/// The first five fields are collected by every build; the fields below
+/// them require the extended counters (CMake option SGE_OBS, on by
+/// default — `obs::compiled_in()`), and read zero when compiled out.
 struct BfsLevelStats {
     std::uint64_t frontier_size = 0;   ///< vertices expanded this level
     std::uint64_t edges_scanned = 0;   ///< adjacency entries examined
@@ -101,6 +126,53 @@ struct BfsLevelStats {
     std::uint64_t atomic_ops = 0;      ///< locked RMW instructions issued
     std::uint64_t remote_tuples = 0;   ///< (v,u) pairs shipped via channels
     double seconds = 0.0;              ///< wall time of this level
+
+    // ---- extended counters (SGE_OBS builds) ----
+
+    /// Neighbours filtered by the *plain* visited test before any locked
+    /// instruction — the double-check optimization's savings (Figure 4:
+    /// bitmap_checks - atomic_ops). Counted by the engines that carry a
+    /// cheap pre-test (bitmap, multisocket, hybrid; the serial and
+    /// distributed engines count their plain already-visited hits here
+    /// so the ratio stays comparable).
+    std::uint64_t bitmap_skips = 0;
+
+    /// Visited claims that *succeeded* — the claimer became the BFS
+    /// parent. Summed over all levels this is exactly n-1 on a connected
+    /// graph (every non-root vertex is claimed once). For the atomic
+    /// engines atomic_wins <= atomic_ops and the difference is wasted
+    /// locked RMWs (lost races plus double-check misses); the serial and
+    /// distributed engines have no atomics (atomic_ops == 0) but still
+    /// count their plain claims here so the invariant "wins == n-1"
+    /// holds for every engine.
+    std::uint64_t atomic_wins = 0;
+
+    /// Channel batches pushed into / popped out of the inter-socket
+    /// (or inter-rank) channels this level. Zero for engines without
+    /// channels. pushed counts Channel::push_batch calls, popped counts
+    /// pop_batch calls that returned at least one item.
+    std::uint64_t batches_pushed = 0;
+    std::uint64_t batches_popped = 0;
+
+    /// Occupancy histogram over the *pushed* channel batches (see
+    /// kBatchOccupancyBuckets). Sums to batches_pushed.
+    std::uint64_t batch_occupancy[kBatchOccupancyBuckets] = {};
+
+    /// Nanoseconds workers spent waiting at the level's barriers, summed
+    /// across threads — the load-imbalance signal. Zero for the serial
+    /// engine.
+    std::uint64_t barrier_wait_ns = 0;
+};
+
+/// One thread's participation in one BFS level, stamped against the
+/// traversal's start. Collected by the parallel engines when
+/// BfsOptions::collect_stats is set (and SGE_OBS is compiled in); the
+/// raw material of the Chrome trace export (make_bfs_trace).
+struct BfsThreadSpan {
+    int thread = 0;             ///< worker id within the team
+    std::uint32_t level = 0;    ///< BFS depth this span covers
+    std::uint64_t start_ns = 0; ///< level start, ns since traversal start
+    std::uint64_t end_ns = 0;   ///< level end (after the closing barrier)
 };
 
 /// Output of one BFS run.
@@ -124,6 +196,10 @@ struct BfsResult {
 
     /// Filled when BfsOptions::collect_stats.
     std::vector<BfsLevelStats> level_stats;
+
+    /// Per-thread, per-level timeline (parallel engines, collect_stats
+    /// + SGE_OBS builds only). Ordered by thread, then level.
+    std::vector<BfsThreadSpan> thread_spans;
 
     [[nodiscard]] double edges_per_second() const noexcept {
         return seconds > 0 ? static_cast<double>(edges_traversed) / seconds : 0.0;
@@ -162,6 +238,17 @@ class BfsRunner {
 
 /// One-shot convenience wrapper around BfsRunner.
 BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options = {});
+
+/// Builds a Chrome trace-event timeline from an instrumented run (run
+/// with BfsOptions::collect_stats): one track per worker thread carrying
+/// its level spans (falling back to a single synthesized track from
+/// level_stats when thread_spans is empty, e.g. the serial engine or a
+/// SGE_OBS=OFF build), plus counter series — frontier size, edges
+/// scanned, atomic attempts vs wins, remote tuples, barrier wait — at
+/// each level boundary. Write with obs::ChromeTrace::write_file and load
+/// in chrome://tracing or Perfetto; see docs/OBSERVABILITY.md.
+[[nodiscard]] obs::ChromeTrace make_bfs_trace(const BfsResult& result,
+                                              const std::string& name = "bfs");
 
 namespace detail {
 

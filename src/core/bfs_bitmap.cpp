@@ -48,13 +48,15 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
         std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
-    std::vector<LevelAccum> stats;
+    LevelAccumLog stats;
     stats.emplace_back();
     stats[0].frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
     const bool double_check = options.bitmap_double_check;
+    const bool collect = options.collect_stats;
+    SpanRecorder spans(threads, collect);
 
     LevelWatchdog watchdog(resolve_watchdog_seconds(options), barrier, [&] {
         return "level=" +
@@ -88,10 +90,14 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
         std::uint64_t discovered = 0;
         WallTimer level_timer;  // tid 0 stamps per-level wall time
         for (;;) {
+            const std::uint64_t span_start = spans.now(timer);
             const int cur = shared.current;
             FrontierQueue& cq = queues[cur];
             FrontierQueue& nq = queues[1 - cur];
             ThreadCounters counters;
+            // Deque slots never relocate, so the reference stays valid
+            // across tid 0's emplace_back between the two barriers.
+            LevelAccum& slot = stats[depth];
 
             std::size_t begin = 0;
             std::size_t end = 0;
@@ -107,9 +113,13 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     counters.edges_scanned += adj.size();
                     for (const vertex_t v : adj) {
                         ++counters.bitmap_checks;
-                        if (double_check && bitmap.test(v)) continue;
+                        if (double_check && bitmap.test(v)) {
+                            counters.count_skip();
+                            continue;
+                        }
                         ++counters.atomic_ops;
                         if (bitmap.test_and_set(v)) continue;
+                        counters.count_win();
                         parent[v] = u;  // winner-only plain store
                         if (level != nullptr) level[v] = depth + 1;
                         ++discovered;
@@ -125,11 +135,11 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 staged.clear();
             }
             total_edges += counters.edges_scanned;
-            counters.flush_into(stats[depth]);
-            if (!barrier.arrive_and_wait()) return;
+            counters.flush_into(slot);
+            if (!timed_wait(barrier, slot, collect)) return;
 
             if (tid == 0) {
-                stats[depth].seconds = level_timer.seconds();
+                slot.seconds = level_timer.seconds();
                 level_timer.reset();
                 cq.reset();
                 shared.current = 1 - cur;
@@ -140,7 +150,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     stats[depth + 1].frontier_size = nq.size();
                 }
             }
-            if (!barrier.arrive_and_wait()) return;
+            if (!timed_wait(barrier, slot, collect)) return;
+            spans.record(tid, depth, span_start, spans.now(timer));
             if (shared.done) break;
             ++depth;
         }
@@ -150,6 +161,7 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
     }, &barrier);
     finish_watchdog(watchdog, "bfs_bitmap");
     result.seconds = timer.seconds();
+    spans.collect_into(result);
 
     const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited.load(std::memory_order_relaxed);

@@ -71,13 +71,15 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
         std::uint64_t frontier_size = 1;
     } shared;
 
-    std::vector<LevelAccum> stats;
+    LevelAccumLog stats;
     stats.emplace_back();
     stats[0].frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
     const bool double_check = options.bitmap_double_check;
+    const bool collect = options.collect_stats;
+    SpanRecorder spans(threads, collect);
 
     LevelWatchdog watchdog(resolve_watchdog_seconds(options), barrier, [&] {
         return "level=" +
@@ -113,12 +115,16 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
         level_t depth = 0;
         WallTimer level_timer;  // tid 0 stamps per-level wall time
         for (;;) {
+            const std::uint64_t span_start = spans.now(timer);
             const int cur = shared.current;
             FrontierQueue& cq = queues[cur];
             FrontierQueue& nq = queues[1 - cur];
             AtomicBitmap& fb_cur = frontier_bits[cur];
             AtomicBitmap& fb_next = frontier_bits[1 - cur];
             ThreadCounters counters;
+            // Deque slots never relocate, so the reference stays valid
+            // across tid 0's emplace_back between the barriers.
+            LevelAccum& slot = stats[depth];
             std::uint64_t discovered = 0;
             std::uint64_t discovered_degree = 0;
 
@@ -132,9 +138,13 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                         counters.edges_scanned += adj.size();
                         for (const vertex_t v : adj) {
                             ++counters.bitmap_checks;
-                            if (double_check && visited.test(v)) continue;
+                            if (double_check && visited.test(v)) {
+                                counters.count_skip();
+                                continue;
+                            }
                             ++counters.atomic_ops;
                             if (visited.test_and_set(v)) continue;
+                            counters.count_win();
                             parent[v] = u;
                             if (level != nullptr) level[v] = depth + 1;
                             ++discovered;
@@ -163,7 +173,10 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     for (std::size_t vi = base; vi < stop; ++vi) {
                         const auto v = static_cast<vertex_t>(vi);
                         ++counters.bitmap_checks;
-                        if (visited.test(v)) continue;
+                        if (visited.test(v)) {
+                            counters.count_skip();
+                            continue;
+                        }
                         for (const vertex_t w : g.neighbors(v)) {
                             ++counters.edges_scanned;
                             ++counters.bitmap_checks;
@@ -173,6 +186,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                             // the release ordering the next level needs.
                             ++counters.atomic_ops;
                             visited.test_and_set(v);
+                            counters.count_win();
                             parent[v] = w;
                             if (level != nullptr) level[v] = depth + 1;
                             ++discovered;
@@ -192,11 +206,11 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                                                   std::memory_order_relaxed);
             shared.explored_degree.fetch_add(discovered_degree,
                                              std::memory_order_relaxed);
-            counters.flush_into(stats[depth]);
-            if (!barrier.arrive_and_wait()) return;
+            counters.flush_into(slot);
+            if (!timed_wait(barrier, slot, collect)) return;
 
             if (tid == 0) {
-                stats[depth].seconds = level_timer.seconds();
+                slot.seconds = level_timer.seconds();
                 level_timer.reset();
                 const std::uint64_t next_size =
                     shared.next_frontier_size.load(std::memory_order_relaxed);
@@ -247,10 +261,14 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     stats[depth + 1].frontier_size = next_size;
                 }
             }
-            if (!barrier.arrive_and_wait()) return;
+            if (!timed_wait(barrier, slot, collect)) return;
+            spans.record(tid, depth, span_start, spans.now(timer));
             if (shared.done) break;
 
             // Representation conversion phases (both threads-parallel).
+            // Their barrier waits land in the level just completed (the
+            // slot reference is still valid); the conversion work itself
+            // shows up as the inter-span gap in the trace.
             if (shared.convert_to_bits) {
                 // nq is now the current queue (after the swap): mirror it
                 // into the current frontier bitmap.
@@ -264,7 +282,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 // The mirroring consumed now_cq's scan cursor; that is
                 // fine — the bottom-up level never reads the queue, and
                 // the end-of-level reset rewinds it before any reuse.
-                if (!barrier.arrive_and_wait()) return;
+                if (!timed_wait(barrier, slot, collect)) return;
             } else if (shared.convert_to_queue) {
                 // The bottom-up level filled fb (current) but no queue:
                 // harvest set bits into the current queue.
@@ -288,16 +306,17 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     now_cq.push_batch(staged.data(), staged.size());
                     staged.clear();
                 }
-                if (!barrier.arrive_and_wait()) return;
+                if (!timed_wait(barrier, slot, collect)) return;
                 if (tid == 0)
                     shared.range_cursor.store(0, std::memory_order_relaxed);
-                if (!barrier.arrive_and_wait()) return;
+                if (!timed_wait(barrier, slot, collect)) return;
             }
             ++depth;
         }
     }, &barrier);
     finish_watchdog(watchdog, "bfs_hybrid");
     result.seconds = timer.seconds();
+    spans.collect_into(result);
 
     const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited_count.load(std::memory_order_relaxed);

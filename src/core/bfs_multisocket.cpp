@@ -75,13 +75,15 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
-    std::vector<LevelAccum> stats;
+    LevelAccumLog stats;
     stats.emplace_back();
     stats[0].frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
     const bool double_check = options.bitmap_double_check;
+    const bool collect = options.collect_stats;
+    SpanRecorder spans(threads, collect);
 
     // Diagnostic snapshot for the watchdog: level reached plus, per
     // socket, both queue depths and the channel's pushed/popped totals
@@ -143,9 +145,13 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                                      FrontierQueue& nq, ThreadCounters& counters,
                                      std::uint64_t& discovered) {
             ++counters.bitmap_checks;
-            if (double_check && bitmap.test(v)) return;
+            if (double_check && bitmap.test(v)) {
+                counters.count_skip();
+                return;
+            }
             ++counters.atomic_ops;
             if (bitmap.test_and_set(v)) return;
+            counters.count_win();
             parent[v] = u;
             if (level != nullptr) level[v] = next_level;
             ++discovered;
@@ -160,10 +166,14 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         std::uint64_t discovered = 0;
         WallTimer level_timer;  // tid 0 stamps per-level wall time
         for (;;) {
+            const std::uint64_t span_start = spans.now(timer);
             const int cur = shared.current;
             FrontierQueue& cq = queues[cur][my];
             FrontierQueue& nq = queues[1 - cur][my];
             ThreadCounters counters;
+            // Deque slots never relocate, so the reference stays valid
+            // across tid 0's emplace_back between the barriers.
+            LevelAccum& slot = stats[depth];
 
             // ---- Phase 1: scan this socket's frontier. ----
             std::size_t begin = 0;
@@ -186,10 +196,15 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                             // channel volume for already-visited hubs.
                             if (options.remote_sender_filter) {
                                 ++counters.bitmap_checks;
-                                if (bitmap.test(v)) continue;
+                                if (bitmap.test(v)) {
+                                    counters.count_skip();
+                                    continue;
+                                }
                             }
                             ++counters.remote_tuples;
                             if (remote[s].push(pack_visit(v, u))) {
+                                counters.count_batch_push(remote[s].size(),
+                                                          remote[s].capacity());
                                 channels[s]->push_batch(remote[s].data(),
                                                         remote[s].size());
                                 remote[s].clear();
@@ -200,6 +215,8 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             }
             for (int s = 0; s < sockets; ++s) {
                 if (!remote[s].empty()) {
+                    counters.count_batch_push(remote[s].size(),
+                                              remote[s].capacity());
                     channels[s]->push_batch(remote[s].data(), remote[s].size());
                     remote[s].clear();
                 }
@@ -208,12 +225,13 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 nq.push_batch(staged.data(), staged.size());
                 staged.clear();
             }
-            if (!barrier.arrive_and_wait()) return;
+            if (!timed_wait(barrier, slot, collect)) return;
 
             // ---- Phase 2: drain tuples other sockets sent us. ----
             for (;;) {
                 const std::size_t k = my_channel.pop_batch(drain.data(), drain.size());
                 if (k == 0) break;
+                counters.count_batch_pop(k);
                 for (std::size_t j = 0; j < k; ++j)
                     visit_local(visit_child(drain[j]), visit_parent(drain[j]),
                                 depth + 1, nq, counters, discovered);
@@ -223,11 +241,11 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 staged.clear();
             }
             total_edges += counters.edges_scanned;
-            counters.flush_into(stats[depth]);
-            if (!barrier.arrive_and_wait()) return;
+            counters.flush_into(slot);
+            if (!timed_wait(barrier, slot, collect)) return;
 
             if (tid == 0) {
-                stats[depth].seconds = level_timer.seconds();
+                slot.seconds = level_timer.seconds();
                 level_timer.reset();
                 std::uint64_t next_frontier = 0;
                 for (int s = 0; s < sockets; ++s) {
@@ -242,7 +260,8 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                     stats[depth + 1].frontier_size = next_frontier;
                 }
             }
-            if (!barrier.arrive_and_wait()) return;
+            if (!timed_wait(barrier, slot, collect)) return;
+            spans.record(tid, depth, span_start, spans.now(timer));
             if (shared.done) break;
             ++depth;
         }
@@ -252,6 +271,7 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
     }, &barrier);
     finish_watchdog(watchdog, "bfs_multisocket");
     result.seconds = timer.seconds();
+    spans.collect_into(result);
 
     const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited.load(std::memory_order_relaxed);

@@ -37,10 +37,15 @@ BfsResult bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options
             for (const vertex_t v : adj) {
                 ++stats.bitmap_checks;
                 if (result.parent[v] == kInvalidVertex) {
+                    // Plain claim (no atomics here): counted as a "win"
+                    // so sum(atomic_wins) == n-1 holds for every engine.
+                    if constexpr (obs::compiled_in()) ++stats.atomic_wins;
                     result.parent[v] = u;
                     if (options.compute_levels) result.level[v] = depth + 1;
                     next.push_back(v);
                     ++result.vertices_visited;
+                } else {
+                    if constexpr (obs::compiled_in()) ++stats.bitmap_skips;
                 }
             }
         }

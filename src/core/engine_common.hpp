@@ -7,6 +7,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <stdexcept>
@@ -16,8 +17,11 @@
 
 #include "concurrency/spin_barrier.hpp"
 #include "core/bfs.hpp"
+#include "runtime/cacheline.hpp"
 #include "runtime/env.hpp"
+#include "runtime/obs.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/timer.hpp"
 
 namespace sge::detail {
 
@@ -115,6 +119,13 @@ inline void finish_watchdog(LevelWatchdog& watchdog, const char* engine) {
 /// Shared per-level accumulation slot. Workers fetch_add their local
 /// counters into it once per level; the engine copies the totals into
 /// BfsResult::level_stats after the run.
+///
+/// Slots live in a std::deque (LevelAccumLog below): thread 0 grows the
+/// log in its end-of-level bookkeeping window, and because deque growth
+/// never relocates existing elements, workers may keep a reference to
+/// the current level's slot across that window — which is how barrier
+/// wait time lands in the *right* level (the wait happens after the
+/// scan-counter flush).
 struct LevelAccum {
     std::uint64_t frontier_size = 0;  // written by thread 0 only
     double seconds = 0.0;             // written by thread 0 only
@@ -122,35 +133,159 @@ struct LevelAccum {
     std::atomic<std::uint64_t> bitmap_checks{0};
     std::atomic<std::uint64_t> atomic_ops{0};
     std::atomic<std::uint64_t> remote_tuples{0};
+    // Extended counters (zero unless SGE_OBS builds collect them).
+    std::atomic<std::uint64_t> bitmap_skips{0};
+    std::atomic<std::uint64_t> atomic_wins{0};
+    std::atomic<std::uint64_t> batches_pushed{0};
+    std::atomic<std::uint64_t> batches_popped{0};
+    std::atomic<std::uint64_t> batch_occupancy[kBatchOccupancyBuckets]{};
+    std::atomic<std::uint64_t> barrier_wait_ns{0};
 
     LevelAccum() = default;
-    // Copyable so a std::vector of slots can grow. Growth happens only
-    // on thread 0 between barriers, when no worker touches the slots.
-    LevelAccum(const LevelAccum& o)
-        : frontier_size(o.frontier_size),
-          seconds(o.seconds),
-          edges_scanned(o.edges_scanned.load(std::memory_order_relaxed)),
-          bitmap_checks(o.bitmap_checks.load(std::memory_order_relaxed)),
-          atomic_ops(o.atomic_ops.load(std::memory_order_relaxed)),
-          remote_tuples(o.remote_tuples.load(std::memory_order_relaxed)) {}
+    LevelAccum(const LevelAccum&) = delete;
     LevelAccum& operator=(const LevelAccum&) = delete;
 };
 
+/// The per-run log of LevelAccum slots. A deque, not a vector, so
+/// emplace_back (thread 0, between barriers) never invalidates the slot
+/// references other workers hold while timing their barrier waits.
+using LevelAccumLog = std::deque<LevelAccum>;
+
 /// Worker-local counters, flushed into a LevelAccum once per level so
-/// the hot loop touches no shared cache lines.
-struct ThreadCounters {
+/// the hot loop touches no shared cache lines. Cache-line aligned: the
+/// engines keep one per worker stack frame, and alignment guarantees
+/// two workers' blocks never share a line even if an engine ever moves
+/// them into a shared array.
+///
+/// The first four fields are always counted (the engines' own
+/// accounting — edges_traversed — depends on them, and they predate the
+/// obs subsystem). The extended fields below cost one local increment
+/// each and compile to nothing when SGE_OBS is off: every increment
+/// funnels through the count_* helpers, which are `if constexpr` gated
+/// on obs::compiled_in().
+struct alignas(kCacheLineSize) ThreadCounters {
     std::uint64_t edges_scanned = 0;
     std::uint64_t bitmap_checks = 0;
     std::uint64_t atomic_ops = 0;
     std::uint64_t remote_tuples = 0;
+    // Extended (SGE_OBS) counters.
+    std::uint64_t bitmap_skips = 0;
+    std::uint64_t atomic_wins = 0;
+    std::uint64_t batches_pushed = 0;
+    std::uint64_t batches_popped = 0;
+    std::uint64_t batch_occupancy[kBatchOccupancyBuckets] = {};
+
+    /// A neighbour filtered by the plain (unlocked) visited test.
+    void count_skip() noexcept {
+        if constexpr (obs::compiled_in()) ++bitmap_skips;
+    }
+
+    /// A visited claim that succeeded (this worker became the parent).
+    void count_win() noexcept {
+        if constexpr (obs::compiled_in()) ++atomic_wins;
+    }
+
+    /// A channel batch of `size` items flushed from a staging buffer of
+    /// `capacity`.
+    void count_batch_push(std::size_t size, std::size_t capacity) noexcept {
+        if constexpr (obs::compiled_in()) {
+            ++batches_pushed;
+            ++batch_occupancy[batch_occupancy_bucket(size, capacity)];
+        }
+    }
+
+    /// A non-empty channel drain of `size` items (capacity = the drain
+    /// buffer size). Pops do not feed the occupancy histogram — it
+    /// characterises the producer-side batching the paper optimizes.
+    void count_batch_pop(std::size_t size) noexcept {
+        if constexpr (obs::compiled_in()) {
+            ++batches_popped;
+            (void)size;
+        }
+    }
 
     void flush_into(LevelAccum& slot) noexcept {
         slot.edges_scanned.fetch_add(edges_scanned, std::memory_order_relaxed);
         slot.bitmap_checks.fetch_add(bitmap_checks, std::memory_order_relaxed);
         slot.atomic_ops.fetch_add(atomic_ops, std::memory_order_relaxed);
         slot.remote_tuples.fetch_add(remote_tuples, std::memory_order_relaxed);
+        if constexpr (obs::compiled_in()) {
+            slot.bitmap_skips.fetch_add(bitmap_skips,
+                                        std::memory_order_relaxed);
+            slot.atomic_wins.fetch_add(atomic_wins, std::memory_order_relaxed);
+            slot.batches_pushed.fetch_add(batches_pushed,
+                                          std::memory_order_relaxed);
+            slot.batches_popped.fetch_add(batches_popped,
+                                          std::memory_order_relaxed);
+            for (std::size_t b = 0; b < kBatchOccupancyBuckets; ++b)
+                slot.batch_occupancy[b].fetch_add(batch_occupancy[b],
+                                                  std::memory_order_relaxed);
+        }
         *this = ThreadCounters{};
     }
+};
+
+/// Barrier arrival that optionally times the wait into `slot` (the
+/// load-imbalance signal: how long this worker idled for stragglers).
+/// `timed` is false when stats are off, so un-instrumented runs pay
+/// only the branch.
+inline bool timed_wait(SpinBarrier& barrier, LevelAccum& slot, bool timed) {
+    if constexpr (obs::compiled_in()) {
+        if (timed) {
+            WallTimer wait;
+            const bool ok = barrier.arrive_and_wait();
+            slot.barrier_wait_ns.fetch_add(wait.nanoseconds(),
+                                           std::memory_order_relaxed);
+            return ok;
+        }
+    }
+    (void)slot;
+    (void)timed;
+    return barrier.arrive_and_wait();
+}
+
+/// Per-thread level-span log for the Chrome trace export. Each worker
+/// appends into its own cache-padded vector (no synchronisation in the
+/// hot path beyond the two timer reads); collect_into() concatenates
+/// after the team has joined. Construct with enabled=false (e.g. stats
+/// off or SGE_OBS compiled out) to make record() free.
+class SpanRecorder {
+  public:
+    SpanRecorder(int threads, bool enabled)
+        : enabled_(enabled && obs::compiled_in()) {
+        if (enabled_) logs_.resize(static_cast<std::size_t>(threads));
+    }
+
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    /// Timestamp against the traversal epoch — free when disabled, so
+    /// engines can call it unconditionally at level boundaries.
+    [[nodiscard]] std::uint64_t now(const WallTimer& epoch) const noexcept {
+        return enabled_ ? epoch.nanoseconds() : 0;
+    }
+
+    void record(int tid, std::uint32_t level, std::uint64_t start_ns,
+                std::uint64_t end_ns) {
+        if (!enabled_) return;
+        logs_[static_cast<std::size_t>(tid)].value.push_back(
+            BfsThreadSpan{tid, level, start_ns, end_ns});
+    }
+
+    /// Moves every worker's spans into result.thread_spans (ordered by
+    /// thread, then level). Call after the parallel region has joined.
+    void collect_into(BfsResult& result) {
+        if (!enabled_) return;
+        std::size_t total = 0;
+        for (const auto& log : logs_) total += log.value.size();
+        result.thread_spans.reserve(total);
+        for (auto& log : logs_)
+            result.thread_spans.insert(result.thread_spans.end(),
+                                       log.value.begin(), log.value.end());
+    }
+
+  private:
+    bool enabled_;
+    std::vector<CachePadded<std::vector<BfsThreadSpan>>> logs_;
 };
 
 inline void check_root(const CsrGraph& g, vertex_t root) {
@@ -158,23 +293,37 @@ inline void check_root(const CsrGraph& g, vertex_t root) {
         throw std::out_of_range("bfs: root vertex out of range");
 }
 
-/// Copies accumulated per-level slots into the result (dropping the
-/// trailing slot engines pre-create for a level that never ran).
-inline void copy_level_stats(BfsResult& result,
-                             const std::vector<LevelAccum>& slots,
+/// Copies accumulated per-level slots into `out` (dropping the trailing
+/// slot engines pre-create for a level that never ran).
+inline void copy_level_stats(std::vector<BfsLevelStats>& out,
+                             const LevelAccumLog& slots,
                              std::uint32_t levels_run) {
-    result.level_stats.reserve(levels_run);
+    out.clear();
+    out.reserve(levels_run);
     for (std::uint32_t d = 0; d < levels_run && d < slots.size(); ++d) {
         const LevelAccum& a = slots[d];
-        result.level_stats.push_back(BfsLevelStats{
-            a.frontier_size,
-            a.edges_scanned.load(std::memory_order_relaxed),
-            a.bitmap_checks.load(std::memory_order_relaxed),
-            a.atomic_ops.load(std::memory_order_relaxed),
-            a.remote_tuples.load(std::memory_order_relaxed),
-            a.seconds,
-        });
+        BfsLevelStats s;
+        s.frontier_size = a.frontier_size;
+        s.edges_scanned = a.edges_scanned.load(std::memory_order_relaxed);
+        s.bitmap_checks = a.bitmap_checks.load(std::memory_order_relaxed);
+        s.atomic_ops = a.atomic_ops.load(std::memory_order_relaxed);
+        s.remote_tuples = a.remote_tuples.load(std::memory_order_relaxed);
+        s.seconds = a.seconds;
+        s.bitmap_skips = a.bitmap_skips.load(std::memory_order_relaxed);
+        s.atomic_wins = a.atomic_wins.load(std::memory_order_relaxed);
+        s.batches_pushed = a.batches_pushed.load(std::memory_order_relaxed);
+        s.batches_popped = a.batches_popped.load(std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kBatchOccupancyBuckets; ++b)
+            s.batch_occupancy[b] =
+                a.batch_occupancy[b].load(std::memory_order_relaxed);
+        s.barrier_wait_ns = a.barrier_wait_ns.load(std::memory_order_relaxed);
+        out.push_back(s);
     }
+}
+
+inline void copy_level_stats(BfsResult& result, const LevelAccumLog& slots,
+                             std::uint32_t levels_run) {
+    copy_level_stats(result.level_stats, slots, levels_run);
 }
 
 /// Splits [0, n) into `parts` near-equal chunks; returns chunk `index`.

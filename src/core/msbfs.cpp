@@ -6,7 +6,9 @@
 
 #include "concurrency/spin_barrier.hpp"
 #include "concurrency/thread_team.hpp"
+#include "core/engine_common.hpp"
 #include "runtime/aligned_buffer.hpp"
+#include "runtime/timer.hpp"
 
 namespace sge {
 
@@ -45,6 +47,12 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
         std::uint32_t levels = 0;
     } shared;
 
+    const bool collect =
+        options.collect_stats && options.level_stats != nullptr;
+    detail::LevelAccumLog stats;
+    stats.emplace_back();
+    stats[0].frontier_size = sources.size();
+
     team.run([&](int tid) {
         // Parallel init.
         const std::size_t per = (n + threads - 1) / threads;
@@ -74,23 +82,43 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
         if (!barrier.arrive_and_wait()) return;
 
         level_t level = 0;
+        WallTimer level_timer;  // tid 0 stamps per-level wall time
         for (;;) {
+            detail::ThreadCounters counters;
+            // Deque slots never relocate, so the reference stays valid
+            // across tid 0's emplace_back between the barriers.
+            detail::LevelAccum& slot = stats[level];
+
             // Scan: spread each frontier vertex's lanes to neighbours.
             for (std::size_t vi = begin; vi < end; ++vi) {
                 const std::uint64_t lanes = frontier[vi];
                 if (lanes == 0) continue;
-                for (const vertex_t w : g.neighbors(static_cast<vertex_t>(vi))) {
+                const auto adj = g.neighbors(static_cast<vertex_t>(vi));
+                counters.edges_scanned += adj.size();
+                for (const vertex_t w : adj) {
+                    ++counters.bitmap_checks;
                     std::uint64_t propagate =
                         lanes & ~seen[w].load(std::memory_order_relaxed);
-                    if (propagate == 0) continue;
+                    if (propagate == 0) {
+                        // All lanes already reached w: the plain load
+                        // filtered the fetch_or, same as the bitmap
+                        // engine's double check.
+                        counters.count_skip();
+                        continue;
+                    }
+                    ++counters.atomic_ops;
                     const std::uint64_t prev =
                         seen[w].fetch_or(propagate, std::memory_order_acq_rel);
                     propagate &= ~prev;  // lanes we actually won
-                    if (propagate != 0)
+                    if (propagate != 0) {
+                        counters.count_win();
+                        ++counters.atomic_ops;
                         next[w].fetch_or(propagate, std::memory_order_relaxed);
+                    }
                 }
             }
-            if (!barrier.arrive_and_wait()) return;
+            counters.flush_into(slot);
+            if (!detail::timed_wait(barrier, slot, collect)) return;
 
             // Swap + report: each worker publishes its slice of `next`.
             std::uint64_t local_active = 0;
@@ -105,19 +133,29 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                 }
             }
             shared.active.fetch_add(local_active, std::memory_order_relaxed);
-            if (!barrier.arrive_and_wait()) return;
+            if (!detail::timed_wait(barrier, slot, collect)) return;
 
             if (tid == 0) {
-                shared.done = shared.active.load(std::memory_order_relaxed) == 0;
+                slot.seconds = level_timer.seconds();
+                level_timer.reset();
+                const std::uint64_t active =
+                    shared.active.load(std::memory_order_relaxed);
+                shared.done = active == 0;
                 shared.active.store(0, std::memory_order_relaxed);
                 ++shared.levels;
+                if (!shared.done) {
+                    stats.emplace_back();
+                    stats[level + 1].frontier_size = active;
+                }
             }
-            if (!barrier.arrive_and_wait()) return;
+            if (!detail::timed_wait(barrier, slot, collect)) return;
             if (shared.done) break;
             ++level;
         }
     }, &barrier);
 
+    if (collect)
+        detail::copy_level_stats(*options.level_stats, stats, shared.levels);
     return shared.levels;
 }
 

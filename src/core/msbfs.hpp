@@ -4,7 +4,9 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "core/bfs.hpp"
 #include "graph/csr_graph.hpp"
 #include "runtime/topology.hpp"
 
@@ -21,6 +23,16 @@ using MsBfsVisitor =
 struct MsBfsOptions {
     int threads = 1;
     std::optional<Topology> topology;
+
+    /// Collect per-level counters into *level_stats. frontier_size
+    /// counts vertices active in *any* lane; atomic_wins counts
+    /// fetch_or calls that claimed at least one new lane (the n-1
+    /// single-source invariant does not apply to a multi-source run).
+    bool collect_stats = false;
+
+    /// Where collect_stats writes its per-level counters (cleared and
+    /// refilled on each call). Ignored when null or !collect_stats.
+    std::vector<BfsLevelStats>* level_stats = nullptr;
 };
 
 /// Bit-parallel multi-source BFS (the MS-BFS technique of Then et al.,

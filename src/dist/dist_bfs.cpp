@@ -87,9 +87,11 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
         bool done = false;
         std::uint32_t levels_run = 0;
     } shared;
-    std::vector<detail::LevelAccum> stats;
+    detail::LevelAccumLog stats;
     stats.emplace_back();
     stats[0].frontier_size = 1;
+    const bool collect = options.collect_stats;
+    detail::SpanRecorder spans(ranks, collect);
 
     WallTimer timer;
     ThreadTeam team(ranks, Topology::emulate(ranks, 1, 1));
@@ -102,11 +104,18 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
         me.level.assign(local_n, kInvalidLevel);
         me.visited.assign(local_n, 0);
 
-        // Private visit of a locally-owned global vertex.
+        // Private visit of a locally-owned global vertex. No atomics in
+        // this engine: the already-visited hit counts as a "skip" and
+        // the plain claim as a "win" so the cross-engine invariants
+        // (sum of wins == n-1) still hold.
         const auto visit = [&](vertex_t global_child, vertex_t global_parent,
-                               level_t at) {
+                               level_t at, detail::ThreadCounters& counters) {
             const vertex_t local = global_child - me.slice.first;
-            if (me.visited[local]) return;
+            if (me.visited[local]) {
+                counters.count_skip();
+                return;
+            }
+            counters.count_win();
             me.visited[local] = 1;
             me.parent[local] = global_parent;
             me.level[local] = at;
@@ -131,8 +140,13 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
             options.batch_size < 1 ? 1 : options.batch_size);
 
         level_t depth = 0;
+        WallTimer level_timer;  // rank 0 stamps per-level wall time
         for (;;) {
+            const std::uint64_t span_start = spans.now(timer);
             detail::ThreadCounters counters;
+            // Deque slots never relocate, so the reference stays valid
+            // across rank 0's emplace_back between the barriers.
+            detail::LevelAccum& slot = stats[depth];
 
             // ---- superstep phase 1: expand local frontier ----
             for (const vertex_t local_u : me.frontier) {
@@ -145,10 +159,13 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
                     const int owner = partition.socket_of(w);
                     if (owner == rank) {
                         ++counters.bitmap_checks;
-                        visit(w, global_u, depth + 1);
+                        visit(w, global_u, depth + 1, counters);
                     } else {
                         ++counters.remote_tuples;
                         if (outgoing[owner].push(pack_visit(w, global_u))) {
+                            counters.count_batch_push(
+                                outgoing[owner].size(),
+                                outgoing[owner].capacity());
                             inbox[owner]->push_batch(outgoing[owner].data(),
                                                      outgoing[owner].size());
                             outgoing[owner].clear();
@@ -158,31 +175,36 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
             }
             for (int r = 0; r < ranks; ++r) {
                 if (!outgoing[r].empty()) {
+                    counters.count_batch_push(outgoing[r].size(),
+                                              outgoing[r].capacity());
                     inbox[r]->push_batch(outgoing[r].data(), outgoing[r].size());
                     outgoing[r].clear();
                 }
             }
             me.edges_scanned += counters.edges_scanned;
-            if (!barrier.arrive_and_wait()) return;
+            if (!detail::timed_wait(barrier, slot, collect)) return;
 
             // ---- superstep phase 2: drain my inbox ----
             Channel<std::uint64_t, kEmptyVisit>& mine = *inbox[rank];
             for (;;) {
                 const std::size_t k = mine.pop_batch(drain.data(), drain.size());
                 if (k == 0) break;
+                counters.count_batch_pop(k);
                 counters.bitmap_checks += k;
                 for (std::size_t j = 0; j < k; ++j)
                     visit(visit_child(drain[j]), visit_parent(drain[j]),
-                          depth + 1);
+                          depth + 1, counters);
             }
 
             // ---- allreduce(next frontier size) ----
             shared.frontier_total.fetch_add(me.next_frontier.size(),
                                             std::memory_order_relaxed);
-            counters.flush_into(stats[depth]);
-            if (!barrier.arrive_and_wait()) return;
+            counters.flush_into(slot);
+            if (!detail::timed_wait(barrier, slot, collect)) return;
 
             if (rank == 0) {
+                slot.seconds = level_timer.seconds();
+                level_timer.reset();
                 const std::uint64_t total =
                     shared.frontier_total.load(std::memory_order_relaxed);
                 shared.frontier_total.store(0, std::memory_order_relaxed);
@@ -193,7 +215,8 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
                     stats[depth + 1].frontier_size = total;
                 }
             }
-            if (!barrier.arrive_and_wait()) return;
+            if (!detail::timed_wait(barrier, slot, collect)) return;
+            spans.record(rank, depth, span_start, spans.now(timer));
             if (shared.done) break;
 
             me.frontier.swap(me.next_frontier);
@@ -218,6 +241,7 @@ BfsResult distributed_bfs(const CsrGraph& g, vertex_t root,
     }
     result.num_levels = shared.levels_run;
     result.seconds = timer.seconds();
+    spans.collect_into(result);
     if (options.collect_stats)
         detail::copy_level_stats(result, stats, shared.levels_run);
     return result;

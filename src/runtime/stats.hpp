@@ -15,12 +15,28 @@ namespace sge {
 /// silent (a failed pin, an aborted barrier, a tripped watchdog) tick
 /// these so operators and tests can observe them; they are monotonic
 /// and never reset.
+///
+/// These are *health* signals, distinct from the per-traversal
+/// performance counters in BfsResult::level_stats: a traversal's stats
+/// are reset every run and describe work done, while RuntimeWarnings
+/// accumulate for the process lifetime and describe things that went
+/// wrong. docs/ROBUSTNESS.md discusses how the two relate.
 struct RuntimeWarnings {
+    /// Threads that requested CPU pinning but could not get it (the run
+    /// continues unpinned; see note_pin_failure below).
     std::atomic<std::uint64_t> pin_failures{0};
+    /// Barrier waits that ended by abort rather than a full rendezvous
+    /// (a worker failed or a watchdog cancelled the phase).
     std::atomic<std::uint64_t> barrier_aborts{0};
+    /// LevelWatchdog deadlines that expired and triggered an abort of
+    /// the traversal in progress.
     std::atomic<std::uint64_t> watchdog_fires{0};
 };
 
+/// The process-wide RuntimeWarnings singleton. Thread-safe: fields are
+/// atomics and the instance is constructed on first use. Read it in
+/// tests or operational code to assert that a run stayed clean
+/// (e.g. `runtime_warnings().barrier_aborts.load() == 0`).
 inline RuntimeWarnings& runtime_warnings() noexcept {
     static RuntimeWarnings w;
     return w;
