@@ -1,0 +1,320 @@
+// Ablation bench: frontier scheduling policies (BfsOptions::schedule).
+//
+// The load-balance experiment behind docs/PERF_MODEL.md "Load balance":
+// on an emulated 4-socket machine, sweep static / edge_weighted /
+// stealing over the parallel engines on the paper's uniform and R-MAT
+// workloads, and report
+//
+//   * the processing rate (the paper's metric),
+//   * summed barrier_wait_ns — time threads idled at level barriers,
+//     the imbalance a vertex-count split leaves behind on skewed
+//     frontiers, and
+//   * scheduler counters: chunks claimed / stolen and the per-level
+//     max-thread-edges spread versus the ideal edges/threads share.
+//
+// With SGE_BENCH_JSON set the same cells land in
+// BENCH_ablation_schedule.json (policy encoded 0=static,
+// 1=edge_weighted, 2=stealing); CI feeds that to check_bench_json.py
+// --compare to keep edge_weighted from regressing against static.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report.hpp"
+
+namespace {
+
+using namespace sge;
+using namespace sge::bench;
+
+constexpr int kThreads = 16;
+constexpr int kRuns = 3;
+
+const SchedulePolicy kPolicies[] = {SchedulePolicy::kStatic,
+                                    SchedulePolicy::kEdgeWeighted,
+                                    SchedulePolicy::kStealing};
+
+int policy_code(SchedulePolicy p) {
+    return p == SchedulePolicy::kStatic       ? 0
+           : p == SchedulePolicy::kEdgeWeighted ? 1
+                                                : 2;
+}
+
+struct Cell {
+    double rate = 0.0;            // best edges/second over timed runs
+    double barrier_ns = 0.0;      // summed barrier_wait_ns, min over runs
+    double chunks_claimed = 0.0;  // from the min-barrier run
+    double chunks_stolen = 0.0;
+    double max_thread_edges = 0.0;
+    double spread = 0.0;  // max_thread_edges / (edges / threads), >= 1
+};
+
+/// Runs one (engine, policy) configuration: warmup + kRuns timed
+/// traversals. Rate is the best run; the barrier/chunk counters come
+/// from the run with the least summed barrier wait (the least
+/// scheduling-noise view of the imbalance the policy leaves behind).
+Cell measure(const CsrGraph& g, BfsEngine engine, SchedulePolicy policy,
+             const Topology& topo) {
+    BfsOptions options;
+    options.engine = engine;
+    options.threads = kThreads;
+    options.topology = topo;
+    options.schedule = policy;
+    options.collect_stats = obs::enabled();
+    BfsRunner runner(options);
+
+    Xoshiro256 rng(99);
+    const auto pick_root = [&] {
+        vertex_t root;
+        do {
+            root = static_cast<vertex_t>(rng.next_below(g.num_vertices()));
+        } while (g.degree(root) == 0);
+        return root;
+    };
+
+    (void)runner.run(g, pick_root());  // warmup: page in the arrays
+    Cell cell;
+    double best_barrier = -1.0;
+    for (int i = 0; i < kRuns; ++i) {
+        const BfsResult r = runner.run(g, pick_root());
+        if (r.edges_per_second() > cell.rate) cell.rate = r.edges_per_second();
+
+        double barrier = 0.0;
+        double claimed = 0.0;
+        double stolen = 0.0;
+        double max_edges = 0.0;
+        double edges = 0.0;
+        for (const BfsLevelStats& s : r.level_stats) {
+            barrier += static_cast<double>(s.barrier_wait_ns);
+            claimed += static_cast<double>(s.chunks_claimed);
+            stolen += static_cast<double>(s.chunks_stolen);
+            max_edges += static_cast<double>(s.max_thread_edges);
+            edges += static_cast<double>(s.edges_scanned);
+        }
+        if (best_barrier < 0.0 || barrier < best_barrier) {
+            best_barrier = barrier;
+            cell.barrier_ns = barrier;
+            cell.chunks_claimed = claimed;
+            cell.chunks_stolen = stolen;
+            cell.max_thread_edges = max_edges;
+            cell.spread =
+                edges > 0.0 ? max_edges / (edges / kThreads) : 0.0;
+        }
+    }
+    return cell;
+}
+
+// ---------------------------------------------------------------------
+// Deterministic plan-quality model.
+//
+// On a time-shared single-core CI host, wall-clock barrier waits mostly
+// measure the OS scheduler, not the plan: with T runnable threads on one
+// core, summed wait converges to (T-1) x level wall regardless of how
+// well the chunks were cut. So alongside the measured numbers we model
+// what barrier_wait_ns measures on real hardware: take the actual
+// per-level frontiers of a traversal, cut them with each policy's real
+// WorkQueue plan, and simulate dynamic claiming in edge units (threads
+// claim chunks as they free up; zero claim cost, unit cost per edge).
+// Modeled wait per level = sum over threads of (makespan - own work) —
+// the straggler tail a policy leaves behind, reproducible on any host.
+// ---------------------------------------------------------------------
+
+/// Simulates shared-cursor dynamic claiming of `chunks` (edge weights)
+/// by `claimants` equal-speed threads; appends each thread's total work
+/// to `loads`.
+void simulate_claims(const std::vector<std::uint64_t>& chunks, int claimants,
+                     std::vector<double>& loads) {
+    std::vector<double> load(static_cast<std::size_t>(claimants), 0.0);
+    for (const std::uint64_t w : chunks) {
+        auto it = std::min_element(load.begin(), load.end());
+        *it += static_cast<double>(w);
+    }
+    loads.insert(loads.end(), load.begin(), load.end());
+}
+
+/// Modeled summed barrier wait (edge units) for one level under `policy`.
+double modeled_level_wait(const CsrGraph& g,
+                          const std::vector<vertex_t>& frontier,
+                          SchedulePolicy policy, const Topology& topo) {
+    std::vector<int> socket_of(static_cast<std::size_t>(kThreads));
+    for (int t = 0; t < kThreads; ++t)
+        socket_of[static_cast<std::size_t>(t)] = topo.socket_of_thread(t);
+    WorkQueue wq(kThreads, socket_of);
+
+    const auto weight = [&](std::size_t i) {
+        return static_cast<std::uint64_t>(g.degree(frontier[i])) + 1;
+    };
+    if (policy == SchedulePolicy::kStatic)
+        wq.plan_static(frontier.size(), 128);  // the default chunk_size
+    else
+        wq.plan_weighted(frontier.size(),
+                         static_cast<std::size_t>(kThreads) * 16,
+                         policy == SchedulePolicy::kStealing, weight);
+
+    const auto chunk_edges = [&](std::size_t idx) {
+        const auto [b, e] = wq.chunk_bounds(idx);
+        std::uint64_t w = 0;
+        for (std::size_t i = b; i < e; ++i) w += weight(i);
+        return w;
+    };
+
+    std::vector<double> loads;
+    if (!wq.owned()) {
+        std::vector<std::uint64_t> chunks(wq.num_chunks());
+        for (std::size_t c = 0; c < chunks.size(); ++c)
+            chunks[c] = chunk_edges(c);
+        simulate_claims(chunks, kThreads, loads);
+    } else {
+        // Stealing: an idle thread raids same-socket siblings at once,
+        // so each socket behaves like a shared cursor over the union of
+        // its members' dealt chunks; sockets never exchange work.
+        const int sockets = topo.sockets_used(kThreads);
+        for (int s = 0; s < sockets; ++s) {
+            std::vector<std::uint64_t> chunks;
+            int members = 0;
+            for (int t = 0; t < kThreads; ++t) {
+                if (socket_of[static_cast<std::size_t>(t)] != s) continue;
+                ++members;
+                const auto [first, last] = wq.claimant_range(t);
+                for (std::size_t c = first; c < last; ++c)
+                    chunks.push_back(chunk_edges(c));
+            }
+            if (members > 0) simulate_claims(chunks, members, loads);
+        }
+    }
+    double makespan = 0.0;
+    double total = 0.0;
+    for (const double l : loads) {
+        makespan = std::max(makespan, l);
+        total += l;
+    }
+    return makespan * static_cast<double>(loads.size()) - total;
+}
+
+/// Runs one instrumented BFS to recover the level partition, then
+/// models every policy's summed wait over the whole traversal.
+void model_plan_quality(const char* workload, const CsrGraph& g,
+                        const Topology& topo, BenchReport& report) {
+    BfsOptions options;
+    options.engine = BfsEngine::kBitmap;
+    options.threads = kThreads;
+    options.topology = topo;
+    const BfsResult r = bfs(g, 0, options);
+
+    level_t max_level = 0;
+    for (const level_t l : r.level)
+        if (l != kInvalidLevel) max_level = std::max(max_level, l);
+    std::vector<std::vector<vertex_t>> levels(
+        static_cast<std::size_t>(max_level) + 1);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v)
+        if (r.level[v] != kInvalidLevel)
+            levels[r.level[v]].push_back(v);
+
+    std::printf("\nplan quality, %s (modeled wait in edge units; "
+                "deterministic):\n", workload);
+    Table table({"policy", "modeled wait", "vs static"});
+    double base = 0.0;
+    for (const SchedulePolicy policy : kPolicies) {
+        double wait = 0.0;
+        for (const auto& frontier : levels)
+            if (!frontier.empty())
+                wait += modeled_level_wait(g, frontier, policy, topo);
+        if (policy == SchedulePolicy::kStatic) base = wait;
+        table.add_row({to_string(policy), fmt("%.3g", wait),
+                       policy == SchedulePolicy::kStatic
+                           ? "-"
+                           : fmt("%+.0f%%", 100.0 * (1.0 - wait / base))});
+        report.add("modeled_" + std::string(workload),
+                   {{"threads", kThreads}, {"policy", policy_code(policy)}},
+                   {{"modeled_wait_edges", wait}});
+    }
+    table.print();
+}
+
+void sweep(const char* workload, const CsrGraph& g, const Topology& topo,
+           BenchReport& report) {
+    std::printf("\nworkload: %s (%u vertices, %llu arcs)\n", workload,
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()));
+
+    const std::pair<BfsEngine, const char*> engines[] = {
+        {BfsEngine::kBitmap, "bitmap"},
+        {BfsEngine::kMultiSocket, "multisocket"},
+        {BfsEngine::kHybrid, "hybrid"},
+    };
+
+    for (const auto& [engine, engine_name] : engines) {
+        Table table({"policy", "rate", "barrier ms", "vs static", "chunks",
+                     "stolen", "edge spread"});
+        double static_barrier = 0.0;
+        for (const SchedulePolicy policy : kPolicies) {
+            const Cell cell = measure(g, engine, policy, topo);
+            if (policy == SchedulePolicy::kStatic)
+                static_barrier = cell.barrier_ns;
+            const double reduction =
+                static_barrier > 0.0
+                    ? 100.0 * (1.0 - cell.barrier_ns / static_barrier)
+                    : 0.0;
+            table.add_row(
+                {to_string(policy), fmt("%.1f ME/s", cell.rate / 1e6),
+                 fmt("%.2f", cell.barrier_ns / 1e6),
+                 policy == SchedulePolicy::kStatic ? "-"
+                                                   : fmt("%+.0f%%", reduction),
+                 fmt("%.0f", cell.chunks_claimed),
+                 fmt("%.0f", cell.chunks_stolen),
+                 cell.spread > 0.0 ? fmt("%.2fx", cell.spread) : "n/a"});
+
+            report.add(std::string(engine_name) + "_" + workload,
+                       {{"threads", kThreads},
+                        {"policy", policy_code(policy)}},
+                       {{"edges_per_second", cell.rate},
+                        {"barrier_wait_ns", cell.barrier_ns},
+                        {"chunks_claimed", cell.chunks_claimed},
+                        {"chunks_stolen", cell.chunks_stolen},
+                        {"max_thread_edges", cell.max_thread_edges},
+                        {"edge_spread", cell.spread}});
+        }
+        std::printf("engine: %s\n", engine_name);
+        table.print();
+    }
+}
+
+}  // namespace
+
+int main() {
+    banner("Ablation: frontier scheduling (static / edge_weighted / stealing)",
+           "load-balance model, docs/PERF_MODEL.md");
+
+    // Four emulated sockets, 16 workers spread 4-per-socket: wide
+    // enough that a single hub-heavy chunk visibly stalls a static
+    // split, while both the per-socket scheduling of Algorithm 3 and
+    // the intra-socket steal domains are exercised.
+    const Topology topo = Topology::emulate(4, 2, 2);
+    std::printf("topology: %s, %d threads, %d timed runs per cell\n",
+                topo.describe().c_str(), kThreads, kRuns);
+    if (!obs::enabled() || !obs::compiled_in())
+        std::printf("note: barrier/chunk columns need an SGE_OBS build with "
+                    "SGE_OBS != 0\n");
+
+    BenchReport report("ablation_schedule", "load-balance ablation");
+    report.set_topology(topo.describe());
+
+    const std::uint64_t n = scaled(1 << 14);
+    // Uniform: every vertex near mean arity — little for weighting to
+    // fix; the interesting claim is that it costs nothing. R-MAT at
+    // arity 16: heavy hubs, the imbalance the scheduler exists for.
+    const CsrGraph uniform = uniform_graph(n, 8 * n);
+    const CsrGraph rmat = rmat_graph(n, 16 * n);
+    report.set_workload("uniform+rmat", n);
+
+    sweep("uniform", uniform, topo, report);
+    sweep("rmat", rmat, topo, report);
+    model_plan_quality("uniform", uniform, topo, report);
+    model_plan_quality("rmat", rmat, topo, report);
+
+    report.write();
+    return 0;
+}

@@ -3,6 +3,7 @@
 
 Usage:
     python3 bench/check_bench_json.py FILE_OR_DIR [...]
+        [--compare BASELINE.json_or_dir] [--tolerance 0.15]
 
 For each file (or every BENCH_*.json under each directory) the script
 checks the sge.bench schema: required top-level fields and their types,
@@ -10,6 +11,15 @@ series entry shape (string name, integer params, numeric metrics), and a
 few semantic invariants (edges_per_second > 0 on rate series; per-level
 counter sanity on Figure 4-style level series). Exits non-zero and
 prints one line per violation when anything fails — made for CI.
+
+Regression guard (--compare): every (bench, name, params) rate cell
+present in both the checked files and the baseline must satisfy
+current >= baseline * (1 - tolerance). Independently of the baseline,
+any file whose series carry a "policy" param (the scheduling ablation:
+0=static, 1=edge_weighted, 2=stealing) must show edge_weighted no
+slower than static by more than the tolerance on each matching cell —
+the default schedule may never regress the pre-scheduler behaviour.
+Comparing a file against itself exercises only the policy guard.
 
 The schema itself is documented in docs/OBSERVABILITY.md.
 """
@@ -115,12 +125,104 @@ def check_file(errors, path):
         check_entry(errors, path, i, entry)
 
 
+def rate_cells(paths):
+    """(bench, name, frozen params) -> edges_per_second, over all files."""
+    cells = {}
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(doc, dict):
+            continue
+        for entry in doc.get("series") or []:
+            if not isinstance(entry, dict):
+                continue
+            eps = (entry.get("metrics") or {}).get("edges_per_second")
+            if not isinstance(eps, (int, float)) or isinstance(eps, bool):
+                continue
+            params = entry.get("params") or {}
+            key = (doc.get("bench"), entry.get("name"),
+                   frozenset(params.items()))
+            cells[key] = float(eps)
+    return cells
+
+
+def check_compare(errors, files, baseline, tolerance):
+    """Rate-regression guard against a baseline run, plus the intra-file
+    policy ordering guard (edge_weighted vs static)."""
+    current = rate_cells(files)
+    base = rate_cells([baseline]) if baseline.is_file() else \
+        rate_cells(sorted(baseline.glob("BENCH_*.json")))
+    if not base:
+        fail(errors, str(baseline), "baseline has no rate cells to compare")
+
+    def describe(key):
+        bench, name, params = key
+        coords = ", ".join(f"{k}={v}" for k, v in sorted(dict(params).items()))
+        return f"{bench}:{name}({coords})"
+
+    for key, eps in sorted(current.items()):
+        ref = base.get(key)
+        if ref is None or ref <= 0:
+            continue
+        if eps < ref * (1.0 - tolerance):
+            fail(errors, "compare",
+                 f"{describe(key)}: rate {eps:.3g} fell below baseline "
+                 f"{ref:.3g} by more than {tolerance:.0%}")
+
+    # Policy guard: edge_weighted (1) must not be slower than static (0)
+    # on any cell that carries both, regardless of the baseline's age.
+    by_cell = {}
+    for (bench, name, params), eps in current.items():
+        p = dict(params)
+        policy = p.pop("policy", None)
+        if policy is None:
+            continue
+        by_cell.setdefault((bench, name, frozenset(p.items())), {})[policy] = eps
+    for key, policies in sorted(by_cell.items()):
+        static, weighted = policies.get(0), policies.get(1)
+        if static is None or weighted is None or static <= 0:
+            continue
+        if weighted < static * (1.0 - tolerance):
+            fail(errors, "compare",
+                 f"{describe(key)}: edge_weighted rate {weighted:.3g} is more "
+                 f"than {tolerance:.0%} below static {static:.3g}")
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = []
+    baseline = None
+    tolerance = 0.15
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--compare":
+            i += 1
+            if i >= len(argv):
+                print("check_bench_json: --compare needs a path", file=sys.stderr)
+                return 2
+            baseline = pathlib.Path(argv[i])
+        elif argv[i] == "--tolerance":
+            i += 1
+            if i >= len(argv):
+                print("check_bench_json: --tolerance needs a value",
+                      file=sys.stderr)
+                return 2
+            try:
+                tolerance = float(argv[i])
+            except ValueError:
+                print(f"check_bench_json: bad tolerance {argv[i]!r}",
+                      file=sys.stderr)
+                return 2
+        else:
+            args.append(argv[i])
+        i += 1
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     files = []
-    for arg in argv[1:]:
+    for arg in args:
         p = pathlib.Path(arg)
         if p.is_dir():
             files.extend(sorted(p.glob("BENCH_*.json")))
@@ -140,6 +242,11 @@ def main(argv):
             except (json.JSONDecodeError, AttributeError):
                 n = 0
         print(f"  [{status}] {path} ({n} series entries)")
+    if baseline is not None:
+        before = len(errors)
+        check_compare(errors, files, baseline, tolerance)
+        status = "FAIL" if len(errors) > before else "ok"
+        print(f"  [{status}] compare vs {baseline} (tolerance {tolerance:.0%})")
     for message in errors:
         print(f"check_bench_json: {message}", file=sys.stderr)
     return 1 if errors else 0

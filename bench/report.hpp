@@ -92,6 +92,10 @@ class BenchReport {
                       {"batches_pushed", static_cast<double>(s.batches_pushed)},
                       {"batches_popped", static_cast<double>(s.batches_popped)},
                       {"barrier_wait_ns", static_cast<double>(s.barrier_wait_ns)},
+                      {"chunks_claimed", static_cast<double>(s.chunks_claimed)},
+                      {"chunks_stolen", static_cast<double>(s.chunks_stolen)},
+                      {"max_thread_edges",
+                       static_cast<double>(s.max_thread_edges)},
                       {"seconds", s.seconds}};
             add(name, std::move(p), std::move(m));
         }

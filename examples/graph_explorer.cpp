@@ -39,6 +39,7 @@ struct Cli {
     std::string engine = "auto";
     std::string topology = "detect";
     std::string reorder = "none";
+    std::string schedule = "edge_weighted";
     std::uint32_t scale = 16;
     std::uint64_t edges = 0;  // 0: 8x vertices
     std::uint64_t vertices = 0;
@@ -61,6 +62,7 @@ struct Cli {
         "          [--engine auto|serial|naive|bitmap|multisocket|hybrid]\n"
         "          [--topology detect|ep|ex|SxCxT] [--threads N] [--runs N]\n"
         "          [--reorder none|shuffle|degree|bfs]\n"
+        "          [--schedule static|edge_weighted|stealing]\n"
         "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
         "          [--width N] [--height N] [--seed N] [--validate]\n"
         "          [--stats] [--trace FILE.json]\n",
@@ -82,6 +84,7 @@ Cli parse(int argc, char** argv) {
         else if (arg == "--engine") cli.engine = next();
         else if (arg == "--topology") cli.topology = next();
         else if (arg == "--reorder") cli.reorder = next();
+        else if (arg == "--schedule") cli.schedule = next();
         else if (arg == "--scale") cli.scale = std::strtoul(next(), nullptr, 10);
         else if (arg == "--edges") cli.edges = std::strtoull(next(), nullptr, 10);
         else if (arg == "--vertices") cli.vertices = std::strtoull(next(), nullptr, 10);
@@ -122,6 +125,15 @@ sge::BfsEngine parse_engine(const std::string& name) {
     if (name == "multisocket") return BfsEngine::kMultiSocket;
     if (name == "hybrid") return BfsEngine::kHybrid;
     std::fprintf(stderr, "bad --engine '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+sge::SchedulePolicy parse_schedule(const std::string& name) {
+    using sge::SchedulePolicy;
+    if (name == "static") return SchedulePolicy::kStatic;
+    if (name == "edge_weighted") return SchedulePolicy::kEdgeWeighted;
+    if (name == "stealing") return SchedulePolicy::kStealing;
+    std::fprintf(stderr, "bad --schedule '%s'\n", name.c_str());
     std::exit(2);
 }
 
@@ -215,14 +227,16 @@ int main(int argc, char** argv) {
     options.engine = parse_engine(cli.engine);
     options.topology = parse_topology(cli.topology);
     options.threads = cli.threads;
+    options.schedule = parse_schedule(cli.schedule);
     // --stats/--trace honour the SGE_OBS=0 runtime master switch.
     const bool instrument =
         (cli.stats || !cli.trace.empty()) && obs::enabled();
     options.collect_stats = instrument;
     BfsRunner runner(options);
-    std::printf("engine: %s, %d threads on %s\n",
+    std::printf("engine: %s, %d threads on %s, %s schedule\n",
                 to_string(runner.resolved_engine()).c_str(), runner.threads(),
-                runner.topology().describe().c_str());
+                runner.topology().describe().c_str(),
+                to_string(options.schedule).c_str());
 
     Xoshiro256 rng(cli.seed + 1000);
     double best = 0.0;

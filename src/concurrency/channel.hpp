@@ -100,6 +100,13 @@ class Channel {
         return popped_.load(std::memory_order_relaxed);
     }
 
+    /// True when every push has been consumed. Exact only while both
+    /// sides are quiescent, or for the consumer whose pop_batch just
+    /// returned 0 with producers quiescent (the consumer lock orders
+    /// that 0-return after every counted pop) — how the BFS asserts the
+    /// level's final partial batches were not left behind.
+    [[nodiscard]] bool drained() const noexcept { return popped() == pushed(); }
+
     [[nodiscard]] std::size_t ring_capacity() const noexcept {
         return ring_.capacity();
     }

@@ -1,0 +1,288 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+
+namespace sge {
+
+/// Frontier scheduling policy for the parallel engines (the
+/// BfsOptions::schedule knob; see docs/PERF_MODEL.md "Load balance").
+///
+///   kStatic       — fixed vertex-count chunks behind one shared atomic
+///                   cursor: the pre-scheduler behaviour, kept as the
+///                   ablation baseline.
+///   kEdgeWeighted — chunks cut by *out-edge count* (degree prefix sums
+///                   over the CSR offsets), shared cursor. Bounds the
+///                   work any single claim can carry, so on skewed
+///                   frontiers no thread draws a hub while its siblings
+///                   idle at the level barrier.
+///   kStealing     — edge-weighted chunks dealt to per-thread ranges; a
+///                   thread that drains its own range claims chunks from
+///                   siblings on the *same socket* (never across — the
+///                   paper's working-set hierarchy keeps random accesses
+///                   socket-local, and a cross-socket steal would drag
+///                   the victim's cache lines with it).
+enum class SchedulePolicy { kStatic, kEdgeWeighted, kStealing };
+
+[[nodiscard]] inline std::string to_string(SchedulePolicy policy) {
+    switch (policy) {
+        case SchedulePolicy::kStatic: return "static";
+        case SchedulePolicy::kEdgeWeighted: return "edge_weighted";
+        case SchedulePolicy::kStealing: return "stealing";
+    }
+    return "unknown";
+}
+
+/// Edge-aware chunked-claim scheduler over an indexed work list (a
+/// frontier queue, or the vertex range [0, n) for bottom-up sweeps).
+///
+/// One thread *plans* between barriers — cutting [0, count) into chunks,
+/// either fixed-size or balanced by a caller-supplied weight (out-degree
+/// for BFS frontiers) — and every worker then *claims* chunks through
+/// atomic cursors after the next barrier publishes the plan. Plans are
+/// cheap: the weighted cut is two passes over the frontier reading
+/// degrees the CSR offsets already hold, O(frontier) with no extra
+/// memory traffic.
+///
+/// Two cursor layouts:
+///   shared — one cursor, all claimants contend on it (kStatic and
+///            kEdgeWeighted). Identical claim protocol to the old
+///            FrontierQueue::next_chunk path.
+///   owned  — chunks dealt into per-claimant contiguous ranges, one
+///            cursor each (kStealing). A claimant drains its own range,
+///            then round-robins over the other claimants *on its own
+///            socket* and claims from their cursors — stealing is just
+///            shared claiming on the victim's cursor, so no deque, no
+///            CAS loops, and the same O(1) claim cost either way.
+///
+/// Thread safety: plan_*/reset_cursors are single-threaded (call from
+/// one thread between barriers; the barrier publishes the plan). claim()
+/// is safe from any registered claimant concurrently.
+class WorkQueue {
+  public:
+    /// Outcome of one claim attempt.
+    enum class Claim {
+        kNone,    ///< nothing left this claimant may take
+        kOwned,   ///< chunk came from the claimant's own range
+        kStolen,  ///< chunk came from a same-socket sibling's range
+    };
+
+    WorkQueue() : WorkQueue(1, {0}) {}
+
+    /// `socket_of[c]` is the logical socket of claimant `c`; stealing
+    /// never crosses socket boundaries. Size fixes the claimant count.
+    explicit WorkQueue(int claimants, std::vector<int> socket_of)
+        : claimants_(claimants < 1 ? 1 : claimants),
+          socket_of_(std::move(socket_of)) {
+        socket_of_.resize(static_cast<std::size_t>(claimants_), 0);
+        cursors_ = std::vector<CachePadded<std::atomic<std::size_t>>>(
+            static_cast<std::size_t>(claimants_));
+        ranges_.resize(static_cast<std::size_t>(claimants_));
+        member_rank_.resize(static_cast<std::size_t>(claimants_), 0);
+        int max_socket = 0;
+        for (const int s : socket_of_) max_socket = s > max_socket ? s : max_socket;
+        socket_members_.resize(static_cast<std::size_t>(max_socket) + 1);
+        for (int c = 0; c < claimants_; ++c) {
+            auto& members = socket_members_[static_cast<std::size_t>(
+                socket_of_[static_cast<std::size_t>(c)])];
+            member_rank_[static_cast<std::size_t>(c)] =
+                static_cast<int>(members.size());
+            members.push_back(c);
+        }
+    }
+
+    WorkQueue(const WorkQueue&) = delete;
+    WorkQueue& operator=(const WorkQueue&) = delete;
+
+    // ---- planning (single-threaded, between barriers) ----
+
+    /// Fixed `chunk`-sized chunks over [0, count), one shared cursor —
+    /// the kStatic policy and the legacy next_chunk behaviour.
+    void plan_static(std::size_t count, std::size_t chunk) {
+        weighted_ = false;
+        owned_ = false;
+        count_ = count;
+        chunk_ = chunk < 1 ? 1 : chunk;
+        num_chunks_ = (count + chunk_ - 1) / chunk_;
+        assign_ranges();
+    }
+
+    /// Weight-balanced chunks over [0, count): cut so every chunk
+    /// carries roughly total_weight / max_chunks, never more than one
+    /// item past the target (a single over-heavy item — a hub — gets a
+    /// chunk of its own; no cut can split an item). `weight(i)` must be
+    /// >= 1 so zero-degree items still advance the cut. `owned` deals
+    /// chunks into per-claimant ranges for the stealing policy.
+    template <typename WeightFn>
+    void plan_weighted(std::size_t count, std::size_t max_chunks, bool owned,
+                       WeightFn&& weight) {
+        weighted_ = true;
+        owned_ = owned;
+        count_ = count;
+        bounds_.clear();
+        bounds_.push_back(0);
+        if (count > 0) {
+            std::uint64_t total = 0;
+            for (std::size_t i = 0; i < count; ++i) total += weight(i);
+            std::size_t chunks = max_chunks < 1 ? 1 : max_chunks;
+            if (chunks > count) chunks = count;
+            const std::uint64_t target =
+                (total + chunks - 1) / static_cast<std::uint64_t>(chunks);
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                acc += weight(i);
+                if (acc >= target && i + 1 < count) {
+                    bounds_.push_back(i + 1);
+                    acc = 0;
+                }
+            }
+            bounds_.push_back(count);
+        }
+        num_chunks_ = bounds_.size() - 1;
+        assign_ranges();
+    }
+
+    /// Rewinds every cursor to the start of its range without replanning
+    /// — reuse the same bounds for another pass (the hybrid engine's
+    /// bottom-up sweeps re-scan the same [0, n) chunks every level).
+    void reset_cursors() noexcept {
+        for (int c = 0; c < claimants_; ++c)
+            cursors_[static_cast<std::size_t>(c)].value.store(
+                ranges_[static_cast<std::size_t>(c)].first,
+                std::memory_order_relaxed);
+    }
+
+    // ---- claiming (any claimant, after a barrier published the plan) ----
+
+    /// Claims the next chunk for `claimant`; on success [begin, end) is
+    /// the item range. kNone means this claimant is done: its own range
+    /// and (under owned plans) every same-socket sibling's range are
+    /// drained.
+    Claim claim(int claimant, std::size_t& begin, std::size_t& end) noexcept {
+        if (!owned_) {
+            const std::size_t idx = try_claim(0);
+            if (idx == kNoChunk) return Claim::kNone;
+            chunk_bounds(idx, begin, end);
+            return Claim::kOwned;
+        }
+        const auto c = static_cast<std::size_t>(claimant);
+        std::size_t idx = try_claim(claimant);
+        if (idx != kNoChunk) {
+            chunk_bounds(idx, begin, end);
+            return Claim::kOwned;
+        }
+        // Own range drained: steal from same-socket siblings, starting
+        // just past ourselves so concurrent thieves fan out over
+        // different victims instead of convoying on one cursor.
+        const auto& members =
+            socket_members_[static_cast<std::size_t>(socket_of_[c])];
+        const std::size_t peers = members.size();
+        const auto me = static_cast<std::size_t>(member_rank_[c]);
+        for (std::size_t off = 1; off < peers; ++off) {
+            const int victim = members[(me + off) % peers];
+            idx = try_claim(victim);
+            if (idx != kNoChunk) {
+                chunk_bounds(idx, begin, end);
+                return Claim::kStolen;
+            }
+        }
+        return Claim::kNone;
+    }
+
+    // ---- introspection (tests, diagnostics) ----
+
+    [[nodiscard]] std::size_t num_chunks() const noexcept { return num_chunks_; }
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] bool owned() const noexcept { return owned_; }
+    [[nodiscard]] int claimants() const noexcept { return claimants_; }
+
+    /// Item range of chunk `idx` (idx < num_chunks()).
+    [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_bounds(
+        std::size_t idx) const noexcept {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        chunk_bounds(idx, begin, end);
+        return {begin, end};
+    }
+
+    /// Chunk-index range owned by `claimant` under the current plan.
+    [[nodiscard]] std::pair<std::size_t, std::size_t> claimant_range(
+        int claimant) const noexcept {
+        const Range& r = ranges_[static_cast<std::size_t>(claimant)];
+        return {r.first, r.last};
+    }
+
+  private:
+    struct Range {
+        std::size_t first = 0;
+        std::size_t last = 0;
+    };
+
+    static constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+    void chunk_bounds(std::size_t idx, std::size_t& begin,
+                      std::size_t& end) const noexcept {
+        if (weighted_) {
+            begin = bounds_[idx];
+            end = bounds_[idx + 1];
+        } else {
+            begin = idx * chunk_;
+            end = begin + chunk_ < count_ ? begin + chunk_ : count_;
+        }
+    }
+
+    /// Deals chunk indices to claimants: everything to cursor 0 under a
+    /// shared plan; near-equal contiguous spans under an owned plan
+    /// (chunks are weight-balanced, so equal counts ≈ equal edges).
+    void assign_ranges() noexcept {
+        if (!owned_) {
+            ranges_[0] = {0, num_chunks_};
+            for (int c = 1; c < claimants_; ++c)
+                ranges_[static_cast<std::size_t>(c)] = {num_chunks_, num_chunks_};
+        } else {
+            const auto parts = static_cast<std::size_t>(claimants_);
+            const std::size_t base = num_chunks_ / parts;
+            const std::size_t extra = num_chunks_ % parts;
+            std::size_t at = 0;
+            for (std::size_t c = 0; c < parts; ++c) {
+                const std::size_t size = base + (c < extra ? 1 : 0);
+                ranges_[c] = {at, at + size};
+                at += size;
+            }
+        }
+        reset_cursors();
+    }
+
+    /// One fetch_add claim against `slot`'s cursor. The pre-check load
+    /// keeps a drained cursor from advancing unboundedly under repeated
+    /// steal probes; racing claimants may still each overshoot by one,
+    /// which the range check absorbs.
+    std::size_t try_claim(int slot) noexcept {
+        const Range& r = ranges_[static_cast<std::size_t>(slot)];
+        auto& cursor = cursors_[static_cast<std::size_t>(slot)].value;
+        if (cursor.load(std::memory_order_relaxed) >= r.last) return kNoChunk;
+        const std::size_t idx = cursor.fetch_add(1, std::memory_order_acq_rel);
+        return idx < r.last ? idx : kNoChunk;
+    }
+
+    int claimants_ = 1;
+    std::vector<int> socket_of_;
+    std::vector<std::vector<int>> socket_members_;
+    std::vector<int> member_rank_;
+    std::vector<CachePadded<std::atomic<std::size_t>>> cursors_;
+    std::vector<Range> ranges_;
+    std::vector<std::size_t> bounds_;  // weighted plans: num_chunks_+1 cuts
+    std::size_t count_ = 0;
+    std::size_t chunk_ = 1;
+    std::size_t num_chunks_ = 0;
+    bool weighted_ = false;
+    bool owned_ = false;
+};
+
+}  // namespace sge

@@ -141,6 +141,10 @@ obs::ChromeTrace make_bfs_trace(const BfsResult& result,
         if (s.barrier_wait_ns > 0)
             trace.add_counter("barrier wait us", cursor,
                               {{"us", s.barrier_wait_ns / 1000}});
+        if (s.chunks_claimed > 0)
+            trace.add_counter("scheduler chunks", cursor,
+                              {{"claimed", s.chunks_claimed},
+                               {"stolen", s.chunks_stolen}});
         cursor += static_cast<std::uint64_t>(s.seconds * 1e9);
     }
     return trace;

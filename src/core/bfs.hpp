@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "concurrency/thread_team.hpp"
+#include "concurrency/work_queue.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
 #include "runtime/obs.hpp"
@@ -44,8 +45,23 @@ struct BfsOptions {
     /// optimization: amortizes the ticket-lock acquisition).
     std::size_t batch_size = 64;
 
-    /// Vertices a worker claims from the current queue at a time.
+    /// Vertices a worker claims from the current queue at a time
+    /// (the chunk granularity of the kStatic schedule).
     std::size_t chunk_size = 128;
+
+    /// How the parallel engines divide each level's frontier across
+    /// workers (see SchedulePolicy in concurrency/work_queue.hpp and
+    /// docs/PERF_MODEL.md "Load balance"): kStatic is the legacy
+    /// vertex-count chunking, kEdgeWeighted (default) cuts chunks by
+    /// out-edge count so hubs cannot stall the level barrier, kStealing
+    /// adds per-thread ranges with intra-socket work stealing on top.
+    SchedulePolicy schedule = SchedulePolicy::kEdgeWeighted;
+
+    /// kHybrid: vertices per bottom-up range claim (and per conversion
+    /// sweep claim). 0 (default) derives n / (threads * 64) clamped to
+    /// [64, 4096], so big graphs get coarse claims and small graphs
+    /// still produce enough chunks to balance.
+    std::size_t bottomup_chunk = 0;
 
     /// FastForward ring capacity per inter-socket channel (entries).
     std::size_t channel_capacity = 1 << 15;
@@ -162,6 +178,20 @@ struct BfsLevelStats {
     /// across threads — the load-imbalance signal. Zero for the serial
     /// engine.
     std::uint64_t barrier_wait_ns = 0;
+
+    /// Frontier chunks claimed through the scheduler this level, summed
+    /// across threads; chunks_stolen counts the subset taken from a
+    /// same-socket sibling's range (kStealing only — zero under shared
+    /// cursors). claimed == chunks planned for the level, every chunk
+    /// claimed exactly once.
+    std::uint64_t chunks_claimed = 0;
+    std::uint64_t chunks_stolen = 0;
+
+    /// Largest per-thread edges_scanned this level — the numerator of
+    /// the edge spread (max_thread_edges * threads / edges_scanned is
+    /// 1.0 for a perfectly balanced level, ~threads when one worker
+    /// scanned everything).
+    std::uint64_t max_thread_edges = 0;
 };
 
 /// One thread's participation in one BFS level, stamped against the

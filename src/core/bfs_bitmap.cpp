@@ -38,6 +38,7 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
     AtomicBitmap bitmap(n);
     FrontierQueue queues[2] = {FrontierQueue(n), FrontierQueue(n)};
     SpinBarrier barrier(threads);
+    WorkQueue wq(threads, team_socket_map(team));
 
     struct Shared {
         std::atomic<std::uint64_t> visited{0};
@@ -81,6 +82,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
             if (level != nullptr) level[root] = 0;
             queues[0].push_one(root);
             shared.visited.fetch_add(1, std::memory_order_relaxed);
+            plan_frontier(wq, queues[0].data(), queues[0].size(), g,
+                          options.schedule, chunk);
         }
         if (!barrier.arrive_and_wait()) return;
 
@@ -101,7 +104,9 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
 
             std::size_t begin = 0;
             std::size_t end = 0;
-            while (cq.next_chunk(chunk, begin, end)) {
+            WorkQueue::Claim cl;
+            while ((cl = wq.claim(tid, begin, end)) != WorkQueue::Claim::kNone) {
+                counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                 for (std::size_t i = begin; i < end; ++i) {
                     const vertex_t u = cq[i];
                     // Keep the next vertex's adjacency metadata in
@@ -148,6 +153,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = nq.size();
+                    plan_frontier(wq, nq.data(), nq.size(), g,
+                                  options.schedule, chunk);
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;

@@ -13,8 +13,6 @@ namespace {
 /// Direction of one BFS level.
 enum class Direction { kTopDown, kBottomUp };
 
-constexpr std::size_t kRangeChunk = 256;  // vertices per bottom-up claim
-
 }  // namespace
 
 /// Extension engine: direction-optimizing BFS (Beamer, Asanović,
@@ -53,6 +51,14 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
     AtomicBitmap frontier_bits[2] = {AtomicBitmap(n), AtomicBitmap(n)};
     SpinBarrier barrier(threads);
 
+    // Top-down levels schedule the frontier queue; bottom-up levels (and
+    // the bits->queue harvest) schedule the whole vertex range. The range
+    // plan's weights never change, so it is cut once — at the first
+    // direction flip — and only its cursors rewind per level.
+    WorkQueue wq(threads, team_socket_map(team));
+    WorkQueue range_wq(threads, team_socket_map(team));
+    const std::size_t range_chunk = resolve_bottomup_chunk(options, n, threads);
+
     struct Shared {
         std::atomic<std::uint64_t> visited_count{0};
         // Frontier statistics for the direction heuristic, re-zeroed by
@@ -60,11 +66,11 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
         std::atomic<std::uint64_t> next_frontier_size{0};
         std::atomic<std::uint64_t> next_frontier_degree{0};
         std::atomic<std::uint64_t> explored_degree{0};
-        std::atomic<std::size_t> range_cursor{0};
         int current = 0;
         Direction direction = Direction::kTopDown;
         bool convert_to_bits = false;
         bool convert_to_queue = false;
+        bool range_planned = false;  // range_wq cut yet? (tid 0 only)
         bool done = false;
         // Atomic so the watchdog may snapshot it mid-run.
         std::atomic<std::uint32_t> levels_run{0};
@@ -108,6 +114,8 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             shared.visited_count.fetch_add(1, std::memory_order_relaxed);
             shared.explored_degree.fetch_add(g.degree(root),
                                              std::memory_order_relaxed);
+            plan_frontier(wq, queues[0].data(), queues[0].size(), g,
+                          options.schedule, chunk);
         }
         if (!barrier.arrive_and_wait()) return;
 
@@ -131,7 +139,10 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             if (shared.direction == Direction::kTopDown) {
                 std::size_t begin = 0;
                 std::size_t end = 0;
-                while (cq.next_chunk(chunk, begin, end)) {
+                WorkQueue::Claim cl;
+                while ((cl = wq.claim(tid, begin, end)) !=
+                       WorkQueue::Claim::kNone) {
+                    counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                     for (std::size_t i = begin; i < end; ++i) {
                         const vertex_t u = cq[i];
                         const auto adj = g.neighbors(u);
@@ -164,12 +175,12 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 // Bottom-up: claim vertex ranges; each unvisited vertex
                 // hunts for a frontier parent in its own adjacency and
                 // stops at the first hit.
-                for (;;) {
-                    const std::size_t base = shared.range_cursor.fetch_add(
-                        kRangeChunk, std::memory_order_relaxed);
-                    if (base >= n) break;
-                    const std::size_t stop =
-                        base + kRangeChunk < n ? base + kRangeChunk : n;
+                std::size_t base = 0;
+                std::size_t stop = 0;
+                WorkQueue::Claim cl;
+                while ((cl = range_wq.claim(tid, base, stop)) !=
+                       WorkQueue::Claim::kNone) {
+                    counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                     for (std::size_t vi = base; vi < stop; ++vi) {
                         const auto v = static_cast<vertex_t>(vi);
                         ++counters.bitmap_checks;
@@ -181,7 +192,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                             ++counters.edges_scanned;
                             ++counters.bitmap_checks;
                             if (!fb_cur.test(w)) continue;
-                            // v's range is exclusively ours, so the
+                            // v's chunk is claimed exactly once, so the
                             // test_and_set cannot lose; it still provides
                             // the release ordering the next level needs.
                             ++counters.atomic_ops;
@@ -254,11 +265,30 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 shared.frontier_size = next_size;
                 shared.next_frontier_size.store(0, std::memory_order_relaxed);
                 shared.next_frontier_degree.store(0, std::memory_order_relaxed);
-                shared.range_cursor.store(0, std::memory_order_relaxed);
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = next_size;
+                    // Schedule the next level. A queue-borne frontier is
+                    // re-cut per level; the [0, n) range plan is cut once
+                    // and merely rewound (used by both the bottom-up scan
+                    // and the bits->queue harvest). After a harvest the
+                    // queue does not exist yet — it is planned in the
+                    // conversion phase below instead.
+                    if (next == Direction::kTopDown && !shared.convert_to_queue)
+                        plan_frontier(wq, queues[1 - cur].data(),
+                                      queues[1 - cur].size(), g,
+                                      options.schedule, chunk);
+                    if (next == Direction::kBottomUp ||
+                        shared.convert_to_queue) {
+                        if (!shared.range_planned) {
+                            plan_vertex_range(range_wq, n, g, options.schedule,
+                                              range_chunk);
+                            shared.range_planned = true;
+                        } else {
+                            range_wq.reset_cursors();
+                        }
+                    }
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;
@@ -288,12 +318,10 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 // harvest set bits into the current queue.
                 FrontierQueue& now_cq = queues[shared.current];
                 AtomicBitmap& now_fb = frontier_bits[shared.current];
-                for (;;) {
-                    const std::size_t base = shared.range_cursor.fetch_add(
-                        kRangeChunk, std::memory_order_relaxed);
-                    if (base >= n) break;
-                    const std::size_t stop =
-                        base + kRangeChunk < n ? base + kRangeChunk : n;
+                std::size_t base = 0;
+                std::size_t stop = 0;
+                while (range_wq.claim(tid, base, stop) !=
+                       WorkQueue::Claim::kNone) {
                     for (std::size_t vi = base; vi < stop; ++vi) {
                         if (!now_fb.test(vi)) continue;
                         if (staged.push(static_cast<vertex_t>(vi))) {
@@ -307,8 +335,11 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     staged.clear();
                 }
                 if (!timed_wait(barrier, slot, collect)) return;
+                // The harvested queue only exists now: cut its plan for
+                // the top-down level about to start.
                 if (tid == 0)
-                    shared.range_cursor.store(0, std::memory_order_relaxed);
+                    plan_frontier(wq, now_cq.data(), now_cq.size(), g,
+                                  options.schedule, chunk);
                 if (!timed_wait(barrier, slot, collect)) return;
             }
             ++depth;

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cassert>
 #include <memory>
 
 #include "concurrency/atomic_bitmap.hpp"
@@ -66,6 +67,17 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         rank_in_socket[static_cast<std::size_t>(t)] = socket_threads[s]++;
     }
 
+    // One scheduler per socket over that socket's CQ; claimants are the
+    // socket's own workers, so any steal is intra-socket by construction
+    // (a flat socket map of zeros inside each queue).
+    std::vector<std::unique_ptr<WorkQueue>> wqs;
+    for (int s = 0; s < sockets; ++s)
+        wqs.push_back(std::make_unique<WorkQueue>(
+            socket_threads[s] < 1 ? 1 : socket_threads[s],
+            std::vector<int>(static_cast<std::size_t>(
+                                 socket_threads[s] < 1 ? 1 : socket_threads[s]),
+                             0)));
+
     struct Shared {
         std::atomic<std::uint64_t> visited{0};
         std::atomic<std::uint64_t> edges{0};
@@ -128,6 +140,9 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             if (level != nullptr) level[root] = 0;
             queues[0][partition.socket_of(root)].push_one(root);
             shared.visited.fetch_add(1, std::memory_order_relaxed);
+            for (int s = 0; s < sockets; ++s)
+                plan_frontier(*wqs[s], queues[0][s].data(), queues[0][s].size(),
+                              g, options.schedule, chunk);
         }
         if (!barrier.arrive_and_wait()) return;
 
@@ -178,7 +193,10 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             // ---- Phase 1: scan this socket's frontier. ----
             std::size_t begin = 0;
             std::size_t end = 0;
-            while (cq.next_chunk(chunk, begin, end)) {
+            WorkQueue::Claim cl;
+            while ((cl = wqs[my]->claim(rank_in_socket[tid], begin, end)) !=
+                   WorkQueue::Claim::kNone) {
+                counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                 for (std::size_t i = begin; i < end; ++i) {
                     const vertex_t u = cq[i];
                     if (i + 1 < end)
@@ -236,6 +254,12 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                     visit_local(visit_child(drain[j]), visit_parent(drain[j]),
                                 depth + 1, nq, counters, discovered);
             }
+            // Producers went quiescent at the phase-1 barrier, so an
+            // empty pop here means every push this level — including
+            // each sender's final partial batch — has been consumed. A
+            // leftover tuple would be dropped silently (a missing tree
+            // edge), so fail loudly in debug builds.
+            assert(my_channel.drained());
             if (!staged.empty()) {
                 nq.push_batch(staged.data(), staged.size());
                 staged.clear();
@@ -258,6 +282,10 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = next_frontier;
+                    for (int s = 0; s < sockets; ++s)
+                        plan_frontier(*wqs[s], queues[1 - cur][s].data(),
+                                      queues[1 - cur][s].size(), g,
+                                      options.schedule, chunk);
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;

@@ -25,6 +25,9 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
     FrontierQueue queues[2] = {FrontierQueue(n), FrontierQueue(n)};
     SpinBarrier barrier(threads);
+    // kStatic keeps chunk == 1: the unbatched LockedDequeue of
+    // Algorithm 1. Weighted plans batch by out-edges instead.
+    WorkQueue wq(threads, team_socket_map(team));
 
     struct Shared {
         std::atomic<std::uint64_t> visited{0};
@@ -66,6 +69,8 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             if (level != nullptr) level[root] = 0;
             queues[0].push_one(root);
             shared.visited.fetch_add(1, std::memory_order_relaxed);
+            plan_frontier(wq, queues[0].data(), queues[0].size(), g,
+                          options.schedule, 1);
         }
         if (!barrier.arrive_and_wait()) return;
 
@@ -85,24 +90,27 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
             std::size_t begin = 0;
             std::size_t end = 0;
-            // chunk == 1: the unbatched LockedDequeue of Algorithm 1.
-            while (cq.next_chunk(1, begin, end)) {
-                const vertex_t u = cq[begin];
-                const auto adj = g.neighbors(u);
-                counters.edges_scanned += adj.size();
-                for (const vertex_t v : adj) {
-                    // Unconditional atomic claim: P[v] == INF -> u.
-                    ++counters.bitmap_checks;
-                    ++counters.atomic_ops;
-                    std::atomic_ref<vertex_t> pv(parent[v]);
-                    vertex_t expected = kInvalidVertex;
-                    if (pv.compare_exchange_strong(expected, u,
-                                                   std::memory_order_acq_rel,
-                                                   std::memory_order_relaxed)) {
-                        counters.count_win();
-                        if (level != nullptr) level[v] = depth + 1;
-                        nq.push_one(v);
-                        ++discovered;
+            WorkQueue::Claim cl;
+            while ((cl = wq.claim(tid, begin, end)) != WorkQueue::Claim::kNone) {
+                counters.count_chunk(cl == WorkQueue::Claim::kStolen);
+                for (std::size_t i = begin; i < end; ++i) {
+                    const vertex_t u = cq[i];
+                    const auto adj = g.neighbors(u);
+                    counters.edges_scanned += adj.size();
+                    for (const vertex_t v : adj) {
+                        // Unconditional atomic claim: P[v] == INF -> u.
+                        ++counters.bitmap_checks;
+                        ++counters.atomic_ops;
+                        std::atomic_ref<vertex_t> pv(parent[v]);
+                        vertex_t expected = kInvalidVertex;
+                        if (pv.compare_exchange_strong(
+                                expected, u, std::memory_order_acq_rel,
+                                std::memory_order_relaxed)) {
+                            counters.count_win();
+                            if (level != nullptr) level[v] = depth + 1;
+                            nq.push_one(v);
+                            ++discovered;
+                        }
                     }
                 }
             }
@@ -120,6 +128,8 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[depth + 1].frontier_size = nq.size();
+                    plan_frontier(wq, nq.data(), nq.size(), g,
+                                  options.schedule, 1);
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "concurrency/spin_barrier.hpp"
+#include "concurrency/work_queue.hpp"
 #include "core/bfs.hpp"
+#include "core/frontier.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/env.hpp"
 #include "runtime/obs.hpp"
@@ -140,6 +142,9 @@ struct LevelAccum {
     std::atomic<std::uint64_t> batches_popped{0};
     std::atomic<std::uint64_t> batch_occupancy[kBatchOccupancyBuckets]{};
     std::atomic<std::uint64_t> barrier_wait_ns{0};
+    std::atomic<std::uint64_t> chunks_claimed{0};
+    std::atomic<std::uint64_t> chunks_stolen{0};
+    std::atomic<std::uint64_t> max_thread_edges{0};  // max, not sum
 
     LevelAccum() = default;
     LevelAccum(const LevelAccum&) = delete;
@@ -174,6 +179,17 @@ struct alignas(kCacheLineSize) ThreadCounters {
     std::uint64_t batches_pushed = 0;
     std::uint64_t batches_popped = 0;
     std::uint64_t batch_occupancy[kBatchOccupancyBuckets] = {};
+    std::uint64_t chunks_claimed = 0;
+    std::uint64_t chunks_stolen = 0;
+
+    /// A frontier chunk claimed from the scheduler (stolen when it came
+    /// from a same-socket sibling's range).
+    void count_chunk(bool stolen) noexcept {
+        if constexpr (obs::compiled_in()) {
+            ++chunks_claimed;
+            if (stolen) ++chunks_stolen;
+        }
+    }
 
     /// A neighbour filtered by the plain (unlocked) visited test.
     void count_skip() noexcept {
@@ -220,8 +236,25 @@ struct alignas(kCacheLineSize) ThreadCounters {
             for (std::size_t b = 0; b < kBatchOccupancyBuckets; ++b)
                 slot.batch_occupancy[b].fetch_add(batch_occupancy[b],
                                                   std::memory_order_relaxed);
+            slot.chunks_claimed.fetch_add(chunks_claimed,
+                                          std::memory_order_relaxed);
+            slot.chunks_stolen.fetch_add(chunks_stolen,
+                                         std::memory_order_relaxed);
+            atomic_accumulate_max(slot.max_thread_edges, edges_scanned);
         }
         *this = ThreadCounters{};
+    }
+
+  private:
+    /// Relaxed atomic max — the edge-spread accumulator. Loops only
+    /// while another thread is concurrently raising the same slot.
+    static void atomic_accumulate_max(std::atomic<std::uint64_t>& slot,
+                                      std::uint64_t value) noexcept {
+        std::uint64_t seen = slot.load(std::memory_order_relaxed);
+        while (seen < value &&
+               !slot.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed)) {
+        }
     }
 };
 
@@ -317,6 +350,10 @@ inline void copy_level_stats(std::vector<BfsLevelStats>& out,
             s.batch_occupancy[b] =
                 a.batch_occupancy[b].load(std::memory_order_relaxed);
         s.barrier_wait_ns = a.barrier_wait_ns.load(std::memory_order_relaxed);
+        s.chunks_claimed = a.chunks_claimed.load(std::memory_order_relaxed);
+        s.chunks_stolen = a.chunks_stolen.load(std::memory_order_relaxed);
+        s.max_thread_edges =
+            a.max_thread_edges.load(std::memory_order_relaxed);
         out.push_back(s);
     }
 }
@@ -335,6 +372,76 @@ inline std::pair<std::size_t, std::size_t> split_range(std::size_t n, int parts,
     const std::size_t begin = i * base + (i < extra ? i : extra);
     const std::size_t size = base + (i < extra ? 1 : 0);
     return {begin, begin + size};
+}
+
+// ---------------------------------------------------------------------
+// Edge-aware frontier scheduling (docs/PERF_MODEL.md "Load balance").
+// ---------------------------------------------------------------------
+
+/// Weighted plans target this many chunks per claimant: enough slack
+/// that dynamic claiming (and stealing) can rebalance a ragged tail,
+/// few enough that cursor traffic stays a rounding error next to the
+/// per-chunk edge work.
+inline constexpr std::size_t kChunksPerClaimant = 16;
+
+/// Effective kHybrid bottom-up claim granularity: the explicit option
+/// wins; otherwise n / (threads * 64) clamped to [64, 4096] — coarse
+/// enough to amortise the cursor on big graphs, fine enough that small
+/// graphs still yield several chunks per thread.
+inline std::size_t resolve_bottomup_chunk(const BfsOptions& options,
+                                          std::size_t n, int threads) noexcept {
+    if (options.bottomup_chunk > 0) return options.bottomup_chunk;
+    const std::size_t derived = n / (static_cast<std::size_t>(threads) * 64);
+    return derived < 64 ? 64 : (derived > 4096 ? 4096 : derived);
+}
+
+/// Logical socket of every worker, in team order — the WorkQueue's
+/// steal-domain map.
+inline std::vector<int> team_socket_map(const ThreadTeam& team) {
+    std::vector<int> sockets(static_cast<std::size_t>(team.size()));
+    for (int t = 0; t < team.size(); ++t)
+        sockets[static_cast<std::size_t>(t)] = team.socket_of(t);
+    return sockets;
+}
+
+/// Plans `wq` over the `count` vertices at `items` for `policy`:
+/// fixed `chunk_size` vertex chunks (kStatic) or degree-balanced cuts
+/// from the CSR offsets (kEdgeWeighted / kStealing, the latter dealt
+/// into per-claimant ranges). Weight is out-degree + 1 so zero-degree
+/// vertices still advance the cut. Single-threaded; publish via a
+/// barrier before claiming.
+inline void plan_frontier(WorkQueue& wq, const vertex_t* items,
+                          std::size_t count, const CsrGraph& g,
+                          SchedulePolicy policy, std::size_t chunk_size) {
+    if (policy == SchedulePolicy::kStatic) {
+        wq.plan_static(count, chunk_size);
+        return;
+    }
+    const std::size_t chunks =
+        static_cast<std::size_t>(wq.claimants()) * kChunksPerClaimant;
+    wq.plan_weighted(count, chunks, policy == SchedulePolicy::kStealing,
+                     [items, &g](std::size_t i) {
+                         return static_cast<std::uint64_t>(
+                                    g.degree(items[i])) + 1;
+                     });
+}
+
+/// Plans `wq` over the whole vertex range [0, n) — the hybrid engine's
+/// bottom-up sweep and MS-BFS's dense scan, where the "frontier" is
+/// every vertex and the chunk item IS the vertex id.
+inline void plan_vertex_range(WorkQueue& wq, std::size_t n, const CsrGraph& g,
+                              SchedulePolicy policy, std::size_t chunk_size) {
+    if (policy == SchedulePolicy::kStatic) {
+        wq.plan_static(n, chunk_size);
+        return;
+    }
+    const std::size_t chunks =
+        static_cast<std::size_t>(wq.claimants()) * kChunksPerClaimant;
+    wq.plan_weighted(n, chunks, policy == SchedulePolicy::kStealing,
+                     [&g](std::size_t v) {
+                         return static_cast<std::uint64_t>(
+                                    g.degree(static_cast<vertex_t>(v))) + 1;
+                     });
 }
 
 }  // namespace sge::detail

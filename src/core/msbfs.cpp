@@ -41,6 +41,16 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                     options.topology ? *options.topology : Topology::detect());
     SpinBarrier barrier(threads);
 
+    // Degree-weighted scan scheduling: one cut of [0, n) up front (the
+    // weights never change), cursors rewound each level by tid 0.
+    // kStatic bypasses the queue entirely — fixed slices, the legacy
+    // behaviour.
+    const bool scheduled = options.schedule != SchedulePolicy::kStatic;
+    WorkQueue wq(threads, detail::team_socket_map(team));
+    if (scheduled)
+        detail::plan_vertex_range(wq, n, g, options.schedule,
+                                  detail::resolve_bottomup_chunk({}, n, threads));
+
     struct Shared {
         std::atomic<std::uint64_t> active{0};
         bool done = false;
@@ -90,32 +100,46 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
             detail::LevelAccum& slot = stats[level];
 
             // Scan: spread each frontier vertex's lanes to neighbours.
-            for (std::size_t vi = begin; vi < end; ++vi) {
-                const std::uint64_t lanes = frontier[vi];
-                if (lanes == 0) continue;
-                const auto adj = g.neighbors(static_cast<vertex_t>(vi));
-                counters.edges_scanned += adj.size();
-                for (const vertex_t w : adj) {
-                    ++counters.bitmap_checks;
-                    std::uint64_t propagate =
-                        lanes & ~seen[w].load(std::memory_order_relaxed);
-                    if (propagate == 0) {
-                        // All lanes already reached w: the plain load
-                        // filtered the fetch_or, same as the bitmap
-                        // engine's double check.
-                        counters.count_skip();
-                        continue;
-                    }
-                    ++counters.atomic_ops;
-                    const std::uint64_t prev =
-                        seen[w].fetch_or(propagate, std::memory_order_acq_rel);
-                    propagate &= ~prev;  // lanes we actually won
-                    if (propagate != 0) {
-                        counters.count_win();
+            const auto scan_span = [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t vi = lo; vi < hi; ++vi) {
+                    const std::uint64_t lanes = frontier[vi];
+                    if (lanes == 0) continue;
+                    const auto adj = g.neighbors(static_cast<vertex_t>(vi));
+                    counters.edges_scanned += adj.size();
+                    for (const vertex_t w : adj) {
+                        ++counters.bitmap_checks;
+                        std::uint64_t propagate =
+                            lanes & ~seen[w].load(std::memory_order_relaxed);
+                        if (propagate == 0) {
+                            // All lanes already reached w: the plain load
+                            // filtered the fetch_or, same as the bitmap
+                            // engine's double check.
+                            counters.count_skip();
+                            continue;
+                        }
                         ++counters.atomic_ops;
-                        next[w].fetch_or(propagate, std::memory_order_relaxed);
+                        const std::uint64_t prev = seen[w].fetch_or(
+                            propagate, std::memory_order_acq_rel);
+                        propagate &= ~prev;  // lanes we actually won
+                        if (propagate != 0) {
+                            counters.count_win();
+                            ++counters.atomic_ops;
+                            next[w].fetch_or(propagate,
+                                             std::memory_order_relaxed);
+                        }
                     }
                 }
+            };
+            if (scheduled) {
+                std::size_t lo = 0;
+                std::size_t hi = 0;
+                WorkQueue::Claim cl;
+                while ((cl = wq.claim(tid, lo, hi)) != WorkQueue::Claim::kNone) {
+                    counters.count_chunk(cl == WorkQueue::Claim::kStolen);
+                    scan_span(lo, hi);
+                }
+            } else {
+                scan_span(begin, end);
             }
             counters.flush_into(slot);
             if (!detail::timed_wait(barrier, slot, collect)) return;
@@ -146,6 +170,7 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                 if (!shared.done) {
                     stats.emplace_back();
                     stats[level + 1].frontier_size = active;
+                    if (scheduled) wq.reset_cursors();
                 }
             }
             if (!detail::timed_wait(barrier, slot, collect)) return;

@@ -74,6 +74,41 @@ TEST(Channel, InterleavedPushPopPhases) {
     }
 }
 
+TEST(Channel, PartialFinalBatchesDrainCompletely) {
+    // Regression for the multisocket flush path: a batch size that does
+    // not divide the frontier leaves a partial final batch per producer
+    // and per level. Every phase must end fully drained — the engine
+    // asserts drained() after its drain loop, so the counters must
+    // agree exactly, spill path included.
+    Chan chan(8);
+    std::uint64_t buf[16];
+    std::uint64_t next = 0;
+    for (std::uint64_t level = 0; level < 20; ++level) {
+        const std::uint64_t frontier = 3 + level * 13;  // never % 7 == 0 pattern
+        std::uint64_t batch[7];
+        std::size_t fill = 0;
+        for (std::uint64_t i = 0; i < frontier; ++i) {
+            batch[fill++] = next++;
+            if (fill == 7) {
+                chan.push_batch(batch, fill);
+                fill = 0;
+            }
+        }
+        if (fill > 0) chan.push_batch(batch, fill);  // the partial batch
+
+        std::uint64_t drained_items = 0;
+        for (;;) {
+            const std::size_t k = chan.pop_batch(buf, 16);
+            if (k == 0) break;
+            drained_items += k;
+        }
+        ASSERT_EQ(drained_items, frontier) << "level " << level;
+        ASSERT_TRUE(chan.drained()) << "level " << level;
+        ASSERT_EQ(chan.pushed(), chan.popped());
+    }
+    EXPECT_EQ(chan.pushed(), next);
+}
+
 TEST(Channel, MultiProducerMultiConsumerStress) {
     Chan chan(64);
     constexpr int kProducers = 4;
