@@ -19,7 +19,11 @@ any file whose series carry a "policy" param (the scheduling ablation:
 0=static, 1=edge_weighted, 2=stealing) must show edge_weighted no
 slower than static by more than the tolerance on each matching cell —
 the default schedule may never regress the pre-scheduler behaviour.
-Comparing a file against itself exercises only the policy guard.
+Likewise any file whose series carry a "reuse" param (bench_throughput:
+0=one-shot bfs(), 1=reused runner + workspace) must show the reused
+queries_per_second no lower than one-shot by more than the tolerance on
+each matching cell — workspace reuse may never cost throughput.
+Comparing a file against itself exercises only these intra-file guards.
 
 The schema itself is documented in docs/OBSERVABILITY.md.
 """
@@ -125,8 +129,8 @@ def check_file(errors, path):
         check_entry(errors, path, i, entry)
 
 
-def rate_cells(paths):
-    """(bench, name, frozen params) -> edges_per_second, over all files."""
+def rate_cells(paths, metric="edges_per_second"):
+    """(bench, name, frozen params) -> `metric`, over all files."""
     cells = {}
     for path in paths:
         try:
@@ -139,7 +143,7 @@ def rate_cells(paths):
         for entry in doc.get("series") or []:
             if not isinstance(entry, dict):
                 continue
-            eps = (entry.get("metrics") or {}).get("edges_per_second")
+            eps = (entry.get("metrics") or {}).get(metric)
             if not isinstance(eps, (int, float)) or isinstance(eps, bool):
                 continue
             params = entry.get("params") or {}
@@ -147,6 +151,18 @@ def rate_cells(paths):
                    frozenset(params.items()))
             cells[key] = float(eps)
     return cells
+
+
+def split_by_param(cells, param):
+    """Regroup rate cells as (bench, name, params - param) -> {param: rate}."""
+    by_cell = {}
+    for (bench, name, params), rate in cells.items():
+        p = dict(params)
+        value = p.pop(param, None)
+        if value is None:
+            continue
+        by_cell.setdefault((bench, name, frozenset(p.items())), {})[value] = rate
+    return by_cell
 
 
 def check_compare(errors, files, baseline, tolerance):
@@ -174,14 +190,7 @@ def check_compare(errors, files, baseline, tolerance):
 
     # Policy guard: edge_weighted (1) must not be slower than static (0)
     # on any cell that carries both, regardless of the baseline's age.
-    by_cell = {}
-    for (bench, name, params), eps in current.items():
-        p = dict(params)
-        policy = p.pop("policy", None)
-        if policy is None:
-            continue
-        by_cell.setdefault((bench, name, frozenset(p.items())), {})[policy] = eps
-    for key, policies in sorted(by_cell.items()):
+    for key, policies in sorted(split_by_param(current, "policy").items()):
         static, weighted = policies.get(0), policies.get(1)
         if static is None or weighted is None or static <= 0:
             continue
@@ -189,6 +198,20 @@ def check_compare(errors, files, baseline, tolerance):
             fail(errors, "compare",
                  f"{describe(key)}: edge_weighted rate {weighted:.3g} is more "
                  f"than {tolerance:.0%} below static {static:.3g}")
+
+    # Reuse guard: a reused runner + workspace (reuse=1) must not serve
+    # fewer queries/second than one-shot bfs() (reuse=0) on any cell of
+    # bench_throughput — amortization may never turn into a cost. The
+    # tolerance absorbs scheduler noise on the near-parity cells.
+    qps = rate_cells(files, metric="queries_per_second")
+    for key, modes in sorted(split_by_param(qps, "reuse").items()):
+        oneshot, reused = modes.get(0), modes.get(1)
+        if oneshot is None or reused is None or oneshot <= 0:
+            continue
+        if reused < oneshot * (1.0 - tolerance):
+            fail(errors, "compare",
+                 f"{describe(key)}: reused queries/s {reused:.3g} is more "
+                 f"than {tolerance:.0%} below one-shot {oneshot:.3g}")
 
 
 def main(argv):

@@ -240,6 +240,10 @@ int main(int argc, char** argv) {
 
     Xoshiro256 rng(cli.seed + 1000);
     double best = 0.0;
+    // One result buffer + the runner's workspace serve every run: after
+    // run 0 each traversal is an epoch-bump reset, no reallocation (the
+    // query-throughput mode; docs/PERF_MODEL.md).
+    BfsResult result;
     BfsResult last;  // instrumented runs keep the final traversal
     for (int run = 0; run < cli.runs; ++run) {
         vertex_t root;
@@ -247,7 +251,7 @@ int main(int argc, char** argv) {
             root = static_cast<vertex_t>(rng.next_below(graph.num_vertices()));
         } while (graph.degree(root) == 0);
 
-        BfsResult result = runner.run(graph, root);
+        runner.run_into(result, graph, root);
         const double meps = result.edges_per_second() / 1e6;
         best = std::max(best, meps);
         std::printf(
@@ -262,7 +266,9 @@ int main(int argc, char** argv) {
                 return 1;
             }
         }
-        if (instrument) last = std::move(result);
+        // Stealing the buffers mid-stream would force run_into to
+        // reallocate; only the final traversal is kept.
+        if (instrument && run + 1 == cli.runs) last = std::move(result);
     }
     std::printf("best: %.1f million edges/second\n", best);
 

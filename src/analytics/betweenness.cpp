@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <numeric>
 
 #include "concurrency/thread_team.hpp"
@@ -97,9 +98,13 @@ std::vector<double> betweenness_centrality(const CsrGraph& g,
         sources = std::move(pool);
     }
 
-    const int threads = std::max(1, options.threads);
-    ThreadTeam team(threads,
-                    options.topology ? *options.topology : Topology::detect());
+    std::unique_ptr<ThreadTeam> owned_team;
+    if (options.team == nullptr)
+        owned_team = std::make_unique<ThreadTeam>(
+            std::max(1, options.threads),
+            options.topology ? *options.topology : Topology::detect());
+    ThreadTeam& team = options.team != nullptr ? *options.team : *owned_team;
+    const int threads = team.size();
 
     std::atomic<std::size_t> cursor{0};
     std::vector<BrandesState> states;

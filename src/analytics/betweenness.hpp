@@ -9,6 +9,8 @@
 
 namespace sge {
 
+class ThreadTeam;
+
 /// Options for betweenness centrality.
 struct BetweennessOptions {
     /// Number of BFS sources to sample; 0 runs the exact algorithm from
@@ -23,6 +25,12 @@ struct BetweennessOptions {
     /// same per-socket independence Figure 10 measures).
     int threads = 1;
     std::optional<Topology> topology;
+
+    /// Query-throughput mode: run on an existing pinned team (e.g. a
+    /// BfsRunner's, via BfsRunner::team()) instead of spinning one up
+    /// per call. When set, `threads`/`topology` are ignored — the
+    /// team's shape wins.
+    ThreadTeam* team = nullptr;
 };
 
 /// Brandes' betweenness centrality (unweighted): for each sampled source

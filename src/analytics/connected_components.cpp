@@ -4,6 +4,7 @@
 #include <atomic>
 #include <limits>
 #include <map>
+#include <memory>
 
 #include "concurrency/thread_team.hpp"
 
@@ -30,9 +31,13 @@ ComponentsResult connected_components_parallel(
     // label[v]: current representative; converges to the component's
     // minimum vertex id.
     std::vector<vertex_t> label(n);
-    const int threads = std::max(1, options.threads);
-    ThreadTeam team(threads,
-                    options.topology ? *options.topology : Topology::detect());
+    std::unique_ptr<ThreadTeam> owned_team;
+    if (options.team == nullptr)
+        owned_team = std::make_unique<ThreadTeam>(
+            std::max(1, options.threads),
+            options.topology ? *options.topology : Topology::detect());
+    ThreadTeam& team = options.team != nullptr ? *options.team : *owned_team;
+    const int threads = team.size();
     std::atomic<bool> changed{true};
 
     const auto atomic_min = [&](vertex_t slot, vertex_t value) {

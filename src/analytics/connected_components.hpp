@@ -9,6 +9,8 @@
 
 namespace sge {
 
+class ThreadTeam;
+
 /// Connected components of a symmetric graph. The paper's introduction
 /// motivates BFS precisely as the building block of community/component
 /// analysis on semantic graphs ([4]-[8]); this is that application.
@@ -37,6 +39,12 @@ ComponentsResult connected_components(const CsrGraph& g);
 struct ParallelComponentsOptions {
     int threads = 1;
     std::optional<Topology> topology;
+
+    /// Query-throughput mode: run on an existing pinned team (e.g. a
+    /// BfsRunner's, via BfsRunner::team()) instead of spinning one up
+    /// per call. When set, `threads`/`topology` are ignored — the
+    /// team's shape wins.
+    ThreadTeam* team = nullptr;
 };
 
 /// Shiloach-Vishkin-style parallel components: iterated atomic-min

@@ -28,19 +28,28 @@ std::pair<vertex_t, level_t> farthest(const BfsResult& r) {
 DiameterEstimate estimate_diameter(const CsrGraph& g, vertex_t start,
                                    const BfsOptions& options,
                                    std::uint32_t max_sweeps) {
-    if (start >= g.num_vertices())
-        throw std::out_of_range("estimate_diameter: start vertex out of range");
-
     BfsOptions opts = options;
     opts.compute_levels = true;  // eccentricities come from the levels
+    BfsRunner runner(opts);
+    return estimate_diameter(g, start, runner, max_sweeps);
+}
+
+DiameterEstimate estimate_diameter(const CsrGraph& g, vertex_t start,
+                                   BfsRunner& runner,
+                                   std::uint32_t max_sweeps) {
+    if (start >= g.num_vertices())
+        throw std::out_of_range("estimate_diameter: start vertex out of range");
+    if (!runner.options().compute_levels)
+        throw std::invalid_argument(
+            "estimate_diameter: runner must have compute_levels enabled");
 
     DiameterEstimate estimate;
     estimate.upper_bound = std::numeric_limits<std::uint32_t>::max();
 
-    BfsRunner runner(opts);
+    BfsResult r;  // reused across sweeps (run_into keeps its buffers)
     vertex_t cursor = start;
     for (std::uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
-        const BfsResult r = runner.run(g, cursor);
+        runner.run_into(r, g, cursor);
         ++estimate.sweeps;
         const auto [far, ecc] = farthest(r);
 

@@ -36,4 +36,14 @@ DiameterEstimate estimate_diameter(const CsrGraph& g, vertex_t start,
                                    const BfsOptions& options = {},
                                    std::uint32_t max_sweeps = 8);
 
+/// Query-throughput variant: runs the sweeps through a caller-owned
+/// runner, reusing its team and workspace (and one BfsResult across
+/// sweeps), so interleaved diameter probes over many graphs/roots pay no
+/// per-call thread or arena setup. The runner must compute levels
+/// (BfsOptions::compute_levels; throws std::invalid_argument otherwise —
+/// this variant cannot silently override caller options).
+DiameterEstimate estimate_diameter(const CsrGraph& g, vertex_t start,
+                                   BfsRunner& runner,
+                                   std::uint32_t max_sweeps = 8);
+
 }  // namespace sge

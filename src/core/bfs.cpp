@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 
 namespace sge {
@@ -66,20 +67,42 @@ int BfsRunner::threads() const noexcept {
     return team_ ? team_->size() : 1;
 }
 
+const BfsWorkspaceStats& BfsRunner::workspace_stats() const noexcept {
+    static const BfsWorkspaceStats kEmpty{};
+    return workspace_ ? workspace_->stats : kEmpty;
+}
+
 BfsResult BfsRunner::run(const CsrGraph& g, vertex_t root) {
-    switch (resolved_engine()) {
-        case BfsEngine::kSerial:
-            return detail::bfs_serial(g, root, options_);
+    BfsResult result;
+    run_into(result, g, root);
+    return result;
+}
+
+void BfsRunner::run_into(BfsResult& result, const CsrGraph& g, vertex_t root) {
+    detail::check_root(g, root);
+    const BfsEngine engine = resolved_engine();
+    if (engine == BfsEngine::kSerial) {
+        detail::bfs_serial(g, root, options_, result);
+        return;
+    }
+    if (!workspace_) workspace_ = std::make_unique<BfsWorkspace>();
+    workspace_->prepare(g, engine, options_, *team_);
+    switch (engine) {
         case BfsEngine::kNaive:
-            return detail::bfs_naive(g, root, options_, *team_);
+            detail::bfs_naive(g, root, options_, *team_, *workspace_, result);
+            return;
         case BfsEngine::kBitmap:
-            return detail::bfs_bitmap(g, root, options_, *team_);
+            detail::bfs_bitmap(g, root, options_, *team_, *workspace_, result);
+            return;
         case BfsEngine::kMultiSocket:
-            return detail::bfs_multisocket(g, root, options_, *team_);
+            detail::bfs_multisocket(g, root, options_, *team_, *workspace_,
+                                    result);
+            return;
         case BfsEngine::kHybrid:
-            return detail::bfs_hybrid(g, root, options_, *team_);
-        case BfsEngine::kAuto:
-            break;  // resolved_engine never returns kAuto
+            detail::bfs_hybrid(g, root, options_, *team_, *workspace_, result);
+            return;
+        default:
+            break;  // resolved_engine never returns kAuto/kSerial here
     }
     throw std::logic_error("BfsRunner: unresolved engine");
 }

@@ -236,9 +236,26 @@ struct BfsResult {
     }
 };
 
+class BfsWorkspace;
+
+/// Lifetime counters of a runner's workspace (see docs/PERF_MODEL.md
+/// "Query throughput & amortization" and docs/OBSERVABILITY.md).
+struct BfsWorkspaceStats {
+    /// Full (re)allocations + first-touch passes: 1 for a runner used on
+    /// one graph size, +1 per graph-size/engine change.
+    std::uint64_t prepares = 0;
+    /// Queries that reused the prepared arena (epoch-bump reset only).
+    std::uint64_t workspace_reuses = 0;
+    /// Bitmap/claim words physically rewritten by resets — 0 on the
+    /// epoch fast path, the full word count on a wraparound sweep.
+    std::uint64_t reset_words_touched = 0;
+};
+
 /// Reusable BFS executor: owns the worker team so repeated traversals
 /// (benchmarks, connected components, multi-root analytics) do not pay
-/// thread creation per run.
+/// thread creation per run, and a NUMA-aware BfsWorkspace arena so they
+/// do not pay allocation, zero-fill or first-touch placement per run
+/// either (the query-throughput mode; see docs/PERF_MODEL.md).
 class BfsRunner {
   public:
     explicit BfsRunner(BfsOptions options = {});
@@ -251,6 +268,11 @@ class BfsRunner {
     /// root or std::invalid_argument for inconsistent options.
     BfsResult run(const CsrGraph& g, vertex_t root);
 
+    /// Runs a BFS from `root` into caller-owned `result`, reusing its
+    /// buffers (no allocation on back-to-back queries over one graph).
+    /// The previous contents of `result` are discarded.
+    void run_into(BfsResult& result, const CsrGraph& g, vertex_t root);
+
     [[nodiscard]] const BfsOptions& options() const noexcept { return options_; }
 
     /// Engine actually selected (kAuto resolved) for `g`-independent
@@ -260,10 +282,24 @@ class BfsRunner {
     [[nodiscard]] int threads() const noexcept;
     [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
+    /// The runner's worker team (null for serial-only runners). Exposed
+    /// so repeated-traversal analytics can share one team instead of
+    /// spawning their own.
+    [[nodiscard]] ThreadTeam* team() noexcept { return team_.get(); }
+
+    /// The runner's reusable arena (null until the first parallel run,
+    /// and always null for serial-only runners). Exposed for tests and
+    /// for sharing with multi_source_bfs.
+    [[nodiscard]] BfsWorkspace* workspace() noexcept { return workspace_.get(); }
+
+    /// Lifetime workspace counters (zeroes for serial-only runners).
+    [[nodiscard]] const BfsWorkspaceStats& workspace_stats() const noexcept;
+
   private:
     BfsOptions options_;
     Topology topology_;
     std::unique_ptr<ThreadTeam> team_;  // null for serial-only runners
+    std::unique_ptr<BfsWorkspace> workspace_;  // lazily built on first run
 };
 
 /// One-shot convenience wrapper around BfsRunner.
@@ -283,15 +319,20 @@ BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options = {});
 namespace detail {
 
 // Engine entry points (exposed for tests; use BfsRunner in user code).
-BfsResult bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options);
-BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                    ThreadTeam& team);
-BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                     ThreadTeam& team);
-BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
-                          const BfsOptions& options, ThreadTeam& team);
-BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                     ThreadTeam& team);
+// The parallel engines require a workspace already prepare()d for
+// (g, engine, options, team); they write into `result` after rewinding
+// it (reset_result).
+void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                BfsResult& result);
+void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+               ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
+void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
+void bfs_multisocket(const CsrGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result);
+void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
 
 }  // namespace detail
 

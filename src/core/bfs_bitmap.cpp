@@ -1,9 +1,12 @@
 #include <atomic>
+#include <cassert>
 
-#include "concurrency/atomic_bitmap.hpp"
 #include "concurrency/spin_barrier.hpp"
+#include "concurrency/versioned_bitmap.hpp"
+#include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
 
@@ -12,9 +15,11 @@ namespace sge::detail {
 /// Algorithm 2: single-socket parallel BFS with the paper's first two
 /// optimizations.
 ///
-///  1. The visited set lives in a bitmap (1 bit/vertex), shrinking the
-///     randomly-accessed working set 32x versus the parent array —
-///     Figure 2 shows this buys >=4x in raw random-read rate.
+///  1. The visited set lives in a bitmap, shrinking the randomly-
+///     accessed working set versus the parent array — Figure 2 shows
+///     this buys >=4x in raw random-read rate. (The workspace's
+///     epoch-versioned bitmap packs 32 payload bits per word; still
+///     well inside the cache levels the parent array overflows.)
 ///  2. Double-checked test-and-set: a plain load filters the vertices
 ///     that are already visited before paying the `lock or` (Figure 4:
 ///     in late levels nearly all checks are filtered). The bit may flip
@@ -24,21 +29,21 @@ namespace sge::detail {
 /// Queue accesses are batched (chunked dequeue, local staging buffers)
 /// so the shared cursors are touched once per chunk instead of once per
 /// vertex.
-BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                     ThreadTeam& team) {
+void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
+    const int sockets = team.sockets_used();
     const std::size_t chunk = options.chunk_size < 1 ? 1 : options.chunk_size;
+    const SocketPartition partition(n, sockets);
 
-    BfsResult result;
-    result.parent.resize(n);
-    if (options.compute_levels) result.level.resize(n);
+    reset_result(result, n, options.compute_levels);
 
-    AtomicBitmap bitmap(n);
-    FrontierQueue queues[2] = {FrontierQueue(n), FrontierQueue(n)};
+    VersionedBitmap& bitmap = ws.visited;
+    FrontierQueue* const queues = ws.queues;
+    WorkQueue& wq = *ws.wq;
     SpinBarrier barrier(threads);
-    WorkQueue wq(threads, team_socket_map(team));
 
     struct Shared {
         std::atomic<std::uint64_t> visited{0};
@@ -49,9 +54,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
         std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
-    LevelAccumLog stats;
-    stats.emplace_back();
-    stats[0].frontier_size = 1;
+    LevelAccumLog& stats = ws.accum;
+    acquire_level_slot(stats, 0).frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
@@ -67,15 +71,14 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                std::to_string(shared.visited.load(std::memory_order_relaxed));
     });
 
+#ifndef NDEBUG
+    const std::uint64_t allocs_before =
+        aligned_alloc_count().load(std::memory_order_relaxed);
+#endif
     WallTimer timer;
     team.run([&](int tid) {
-        const auto [init_begin, init_end] = split_range(n, threads, tid);
-        for (std::size_t v = init_begin; v < init_end; ++v) {
-            parent[v] = kInvalidVertex;
-            if (level != nullptr) level[v] = kInvalidLevel;
-        }
-        if (!barrier.arrive_and_wait()) return;
-
+        // No init pass: the workspace's epoch bump already cleared the
+        // bitmap; unreached parent/level slots are filled post-run.
         if (tid == 0) {
             bitmap.test_and_set(root);
             parent[root] = root;
@@ -87,7 +90,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
         }
         if (!barrier.arrive_and_wait()) return;
 
-        LocalBatch<vertex_t> staged(options.batch_size);
+        LocalBatch<vertex_t>& staged =
+            ws.scratch[static_cast<std::size_t>(tid)].staged;
         level_t depth = 0;
         std::uint64_t total_edges = 0;
         std::uint64_t discovered = 0;
@@ -99,7 +103,7 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
             FrontierQueue& nq = queues[1 - cur];
             ThreadCounters counters;
             // Deque slots never relocate, so the reference stays valid
-            // across tid 0's emplace_back between the two barriers.
+            // across tid 0's acquire between the two barriers.
             LevelAccum& slot = stats[depth];
 
             std::size_t begin = 0;
@@ -116,7 +120,11 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                         prefetch_read(&g.offsets()[cq[i + 1]]);
                     const auto adj = g.neighbors(u);
                     counters.edges_scanned += adj.size();
-                    for (const vertex_t v : adj) {
+                    for (std::size_t j = 0; j < adj.size(); ++j) {
+                        if (j + kVisitedPrefetchDistance < adj.size())
+                            prefetch_read(bitmap.word_addr(
+                                adj[j + kVisitedPrefetchDistance]));
+                        const vertex_t v = adj[j];
                         ++counters.bitmap_checks;
                         if (double_check && bitmap.test(v)) {
                             counters.count_skip();
@@ -151,8 +159,8 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 shared.done = nq.size() == 0;
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
-                    stats.emplace_back();
-                    stats[depth + 1].frontier_size = nq.size();
+                    acquire_level_slot(stats, depth + 1).frontier_size =
+                        nq.size();
                     plan_frontier(wq, nq.data(), nq.size(), g,
                                   options.schedule, chunk);
                 }
@@ -163,9 +171,25 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
             ++depth;
         }
 
+        // Unreached sentinels for this socket's slice (replaces the old
+        // pre-init pass; writes only unvisited slots).
+        {
+            const int my = team.socket_of(tid);
+            const auto [lo, hi] = partition.range(my);
+            const auto [b, e] = split_range(
+                hi - lo, ws.socket_threads[static_cast<std::size_t>(my)],
+                ws.rank_in_socket[static_cast<std::size_t>(tid)]);
+            fill_unreached(bitmap, lo + b, lo + e, parent, level);
+        }
+
         shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
         shared.visited.fetch_add(discovered, std::memory_order_relaxed);
     }, &barrier);
+#ifndef NDEBUG
+    // A prepared workspace makes the traversal allocation-free.
+    assert(aligned_alloc_count().load(std::memory_order_relaxed) ==
+           allocs_before);
+#endif
     finish_watchdog(watchdog, "bfs_bitmap");
     result.seconds = timer.seconds();
     spans.collect_into(result);
@@ -175,7 +199,6 @@ BfsResult bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
-    return result;
 }
 
 }  // namespace sge::detail

@@ -1,9 +1,13 @@
 #include <atomic>
+#include <cassert>
 
-#include "concurrency/atomic_bitmap.hpp"
 #include "concurrency/spin_barrier.hpp"
+#include "concurrency/versioned_bitmap.hpp"
+#include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/partition.hpp"
+#include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
@@ -32,31 +36,38 @@ enum class Direction { kTopDown, kBottomUp };
 /// convention (sum of degrees over visited vertices) so rates stay
 /// comparable across engines; BfsLevelStats::edges_scanned records the
 /// work actually done, which is the point of the optimization.
-BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                     ThreadTeam& team) {
+///
+/// Workspace reuse: the visited set and both frontier bitmaps are
+/// epoch-versioned, so the per-level `clear_all` of the old frontier
+/// bits is an O(1) epoch bump, and back-to-back queries skip every O(n)
+/// re-initialisation. The [0, n) range plan survives across queries on
+/// the same graph (ws.range_planned) — only its cursors rewind.
+void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
+    const int sockets = team.sockets_used();
     const std::size_t chunk = options.chunk_size < 1 ? 1 : options.chunk_size;
     const std::uint64_t total_edges_x2 = g.num_edges();
+    const SocketPartition partition(n, sockets);
 
-    BfsResult result;
-    result.parent.resize(n);
-    if (options.compute_levels) result.level.resize(n);
+    reset_result(result, n, options.compute_levels);
 
-    AtomicBitmap visited(n);
+    VersionedBitmap& visited = ws.visited;
     // Frontier as queue (top-down) and as bitmap (bottom-up); both kept,
     // converted lazily on direction flips.
-    FrontierQueue queues[2] = {FrontierQueue(n), FrontierQueue(n)};
-    AtomicBitmap frontier_bits[2] = {AtomicBitmap(n), AtomicBitmap(n)};
+    FrontierQueue* const queues = ws.queues;
+    VersionedBitmap* const frontier_bits = ws.frontier_bits;
     SpinBarrier barrier(threads);
 
     // Top-down levels schedule the frontier queue; bottom-up levels (and
     // the bits->queue harvest) schedule the whole vertex range. The range
     // plan's weights never change, so it is cut once — at the first
-    // direction flip — and only its cursors rewind per level.
-    WorkQueue wq(threads, team_socket_map(team));
-    WorkQueue range_wq(threads, team_socket_map(team));
+    // direction flip on this graph — and only its cursors rewind per
+    // level (and per query).
+    WorkQueue& wq = *ws.wq;
+    WorkQueue& range_wq = *ws.range_wq;
     const std::size_t range_chunk = resolve_bottomup_chunk(options, n, threads);
 
     struct Shared {
@@ -70,16 +81,14 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
         Direction direction = Direction::kTopDown;
         bool convert_to_bits = false;
         bool convert_to_queue = false;
-        bool range_planned = false;  // range_wq cut yet? (tid 0 only)
         bool done = false;
         // Atomic so the watchdog may snapshot it mid-run.
         std::atomic<std::uint32_t> levels_run{0};
         std::uint64_t frontier_size = 1;
     } shared;
 
-    LevelAccumLog stats;
-    stats.emplace_back();
-    stats[0].frontier_size = 1;
+    LevelAccumLog& stats = ws.accum;
+    acquire_level_slot(stats, 0).frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
@@ -96,15 +105,15 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                    shared.visited_count.load(std::memory_order_relaxed));
     });
 
+#ifndef NDEBUG
+    const std::uint64_t allocs_before =
+        aligned_alloc_count().load(std::memory_order_relaxed);
+#endif
     WallTimer timer;
     team.run([&](int tid) {
-        const auto [init_begin, init_end] = split_range(n, threads, tid);
-        for (std::size_t v = init_begin; v < init_end; ++v) {
-            parent[v] = kInvalidVertex;
-            if (level != nullptr) level[v] = kInvalidLevel;
-        }
-        if (!barrier.arrive_and_wait()) return;
-
+        // No init pass: the workspace's epoch bumps already cleared the
+        // visited and frontier bitmaps; unreached parent/level slots are
+        // filled post-run.
         if (tid == 0) {
             visited.test_and_set(root);
             parent[root] = root;
@@ -119,7 +128,8 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
         }
         if (!barrier.arrive_and_wait()) return;
 
-        LocalBatch<vertex_t> staged(options.batch_size);
+        LocalBatch<vertex_t>& staged =
+            ws.scratch[static_cast<std::size_t>(tid)].staged;
         level_t depth = 0;
         WallTimer level_timer;  // tid 0 stamps per-level wall time
         for (;;) {
@@ -127,11 +137,11 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             const int cur = shared.current;
             FrontierQueue& cq = queues[cur];
             FrontierQueue& nq = queues[1 - cur];
-            AtomicBitmap& fb_cur = frontier_bits[cur];
-            AtomicBitmap& fb_next = frontier_bits[1 - cur];
+            VersionedBitmap& fb_cur = frontier_bits[cur];
+            VersionedBitmap& fb_next = frontier_bits[1 - cur];
             ThreadCounters counters;
             // Deque slots never relocate, so the reference stays valid
-            // across tid 0's emplace_back between the barriers.
+            // across tid 0's acquire between the barriers.
             LevelAccum& slot = stats[depth];
             std::uint64_t discovered = 0;
             std::uint64_t discovered_degree = 0;
@@ -145,9 +155,18 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                     for (std::size_t i = begin; i < end; ++i) {
                         const vertex_t u = cq[i];
+                        // Keep the next vertex's adjacency metadata in
+                        // flight while scanning this one (Section III's
+                        // decoupling of computation and memory requests).
+                        if (i + 1 < end)
+                            prefetch_read(&g.offsets()[cq[i + 1]]);
                         const auto adj = g.neighbors(u);
                         counters.edges_scanned += adj.size();
-                        for (const vertex_t v : adj) {
+                        for (std::size_t j = 0; j < adj.size(); ++j) {
+                            if (j + kVisitedPrefetchDistance < adj.size())
+                                prefetch_read(visited.word_addr(
+                                    adj[j + kVisitedPrefetchDistance]));
+                            const vertex_t v = adj[j];
                             ++counters.bitmap_checks;
                             if (double_check && visited.test(v)) {
                                 counters.count_skip();
@@ -258,7 +277,10 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                     shared.direction == Direction::kBottomUp;
 
                 cq.reset();
-                fb_cur.clear_all();
+                // O(1) "clear": stale-epoch words read as unset. The
+                // physically cleared word count (wraparound only) feeds
+                // the same counter as the per-query resets.
+                ws.stats.reset_words_touched += fb_cur.advance_epoch();
                 shared.current = 1 - cur;
                 shared.direction = next;
                 shared.done = next_size == 0;
@@ -267,8 +289,8 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 shared.next_frontier_degree.store(0, std::memory_order_relaxed);
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
-                    stats.emplace_back();
-                    stats[depth + 1].frontier_size = next_size;
+                    acquire_level_slot(stats, depth + 1).frontier_size =
+                        next_size;
                     // Schedule the next level. A queue-borne frontier is
                     // re-cut per level; the [0, n) range plan is cut once
                     // and merely rewound (used by both the bottom-up scan
@@ -281,10 +303,10 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                                       options.schedule, chunk);
                     if (next == Direction::kBottomUp ||
                         shared.convert_to_queue) {
-                        if (!shared.range_planned) {
+                        if (!ws.range_planned) {
                             plan_vertex_range(range_wq, n, g, options.schedule,
                                               range_chunk);
-                            shared.range_planned = true;
+                            ws.range_planned = true;
                         } else {
                             range_wq.reset_cursors();
                         }
@@ -303,7 +325,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 // nq is now the current queue (after the swap): mirror it
                 // into the current frontier bitmap.
                 FrontierQueue& now_cq = queues[shared.current];
-                AtomicBitmap& now_fb = frontier_bits[shared.current];
+                VersionedBitmap& now_fb = frontier_bits[shared.current];
                 std::size_t begin = 0;
                 std::size_t end = 0;
                 while (now_cq.next_chunk(chunk, begin, end))
@@ -317,7 +339,7 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
                 // The bottom-up level filled fb (current) but no queue:
                 // harvest set bits into the current queue.
                 FrontierQueue& now_cq = queues[shared.current];
-                AtomicBitmap& now_fb = frontier_bits[shared.current];
+                VersionedBitmap& now_fb = frontier_bits[shared.current];
                 std::size_t base = 0;
                 std::size_t stop = 0;
                 while (range_wq.claim(tid, base, stop) !=
@@ -344,7 +366,23 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
             }
             ++depth;
         }
+
+        // Unreached sentinels for this socket's slice (replaces the old
+        // pre-init pass; writes only unvisited slots).
+        {
+            const int my = team.socket_of(tid);
+            const auto [lo, hi] = partition.range(my);
+            const auto [b, e] = split_range(
+                hi - lo, ws.socket_threads[static_cast<std::size_t>(my)],
+                ws.rank_in_socket[static_cast<std::size_t>(tid)]);
+            fill_unreached(visited, lo + b, lo + e, parent, level);
+        }
     }, &barrier);
+#ifndef NDEBUG
+    // A prepared workspace makes the traversal allocation-free.
+    assert(aligned_alloc_count().load(std::memory_order_relaxed) ==
+           allocs_before);
+#endif
     finish_watchdog(watchdog, "bfs_hybrid");
     result.seconds = timer.seconds();
     spans.collect_into(result);
@@ -357,7 +395,6 @@ BfsResult bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options
     result.edges_traversed = shared.explored_degree.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
-    return result;
 }
 
 }  // namespace sge::detail

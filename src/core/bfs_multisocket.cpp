@@ -1,10 +1,10 @@
 #include <atomic>
 #include <cassert>
-#include <memory>
 
-#include "concurrency/atomic_bitmap.hpp"
 #include "concurrency/channel.hpp"
 #include "concurrency/spin_barrier.hpp"
+#include "concurrency/versioned_bitmap.hpp"
+#include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
 #include "graph/partition.hpp"
@@ -32,9 +32,14 @@ namespace sge::detail {
 ///   at the single atomic on the owner's bitmap.
 ///
 /// Channels are FastForward rings ticket-locked per side with batched
-/// access (Section III: ~30 ns normalized cost per remote vertex).
-BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
-                          const BfsOptions& options, ThreadTeam& team) {
+/// access (Section III: ~30 ns normalized cost per remote vertex). All
+/// arenas — queues, channels, schedulers, per-thread staging — live in
+/// the workspace and were first-touched by each socket's own pinned
+/// workers, so back-to-back queries pay no allocation or page-placement
+/// cost.
+void bfs_multisocket(const CsrGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
@@ -42,41 +47,16 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
     const std::size_t chunk = options.chunk_size < 1 ? 1 : options.chunk_size;
     const SocketPartition partition(n, sockets);
 
-    BfsResult result;
-    result.parent.resize(n);
-    if (options.compute_levels) result.level.resize(n);
+    reset_result(result, n, options.compute_levels);
 
-    AtomicBitmap bitmap(n);
+    VersionedBitmap& bitmap = ws.visited;
+    // Per-socket queue pairs (queues[phase][socket]), channels and
+    // schedulers — workspace-owned, NUMA-placed at prepare() time.
+    std::vector<FrontierQueue>* const queues = ws.socket_queues;
+    auto& channels = ws.channels;
+    auto& wqs = ws.socket_wqs;
+    const std::vector<int>& rank_in_socket = ws.rank_in_socket;
     SpinBarrier barrier(threads);
-
-    // Per-socket queue pairs (queues[phase][socket]) and channels.
-    std::vector<FrontierQueue> queues[2];
-    std::vector<std::unique_ptr<Channel<std::uint64_t, kEmptyVisit>>> channels;
-    for (int s = 0; s < sockets; ++s) {
-        queues[0].emplace_back(partition.size(s));
-        queues[1].emplace_back(partition.size(s));
-        channels.push_back(std::make_unique<Channel<std::uint64_t, kEmptyVisit>>(
-            options.channel_capacity));
-    }
-
-    // Socket-local worker ranks, for splitting the per-socket init range.
-    std::vector<int> rank_in_socket(static_cast<std::size_t>(threads));
-    std::vector<int> socket_threads(static_cast<std::size_t>(sockets), 0);
-    for (int t = 0; t < threads; ++t) {
-        const int s = team.socket_of(t);
-        rank_in_socket[static_cast<std::size_t>(t)] = socket_threads[s]++;
-    }
-
-    // One scheduler per socket over that socket's CQ; claimants are the
-    // socket's own workers, so any steal is intra-socket by construction
-    // (a flat socket map of zeros inside each queue).
-    std::vector<std::unique_ptr<WorkQueue>> wqs;
-    for (int s = 0; s < sockets; ++s)
-        wqs.push_back(std::make_unique<WorkQueue>(
-            socket_threads[s] < 1 ? 1 : socket_threads[s],
-            std::vector<int>(static_cast<std::size_t>(
-                                 socket_threads[s] < 1 ? 1 : socket_threads[s]),
-                             0)));
 
     struct Shared {
         std::atomic<std::uint64_t> visited{0};
@@ -87,9 +67,8 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
-    LevelAccumLog stats;
-    stats.emplace_back();
-    stats[0].frontier_size = 1;
+    LevelAccumLog& stats = ws.accum;
+    acquire_level_slot(stats, 0).frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
@@ -116,24 +95,17 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         return diag;
     });
 
+#ifndef NDEBUG
+    const std::uint64_t allocs_before =
+        aligned_alloc_count().load(std::memory_order_relaxed);
+#endif
     WallTimer timer;
     team.run([&](int tid) {
         const int my = team.socket_of(tid);
         Channel<std::uint64_t, kEmptyVisit>& my_channel = *channels[my];
 
-        // First-touch init: this socket's workers initialise this
-        // socket's slice of the arrays (the paper's NUMA placement).
-        {
-            const auto [lo, hi] = partition.range(my);
-            const auto [o_begin, o_end] =
-                split_range(hi - lo, socket_threads[my], rank_in_socket[tid]);
-            for (std::size_t v = lo + o_begin; v < lo + o_end; ++v) {
-                parent[v] = kInvalidVertex;
-                if (level != nullptr) level[v] = kInvalidLevel;
-            }
-        }
-        if (!barrier.arrive_and_wait()) return;
-
+        // No init pass: the workspace's epoch bump already cleared the
+        // bitmap; unreached parent/level slots are filled post-run.
         if (tid == 0) {
             bitmap.test_and_set(root);
             parent[root] = root;
@@ -146,13 +118,11 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
         }
         if (!barrier.arrive_and_wait()) return;
 
-        LocalBatch<vertex_t> staged(options.batch_size);
-        std::vector<LocalBatch<std::uint64_t>> remote;
-        remote.reserve(static_cast<std::size_t>(sockets));
-        for (int s = 0; s < sockets; ++s) remote.emplace_back(options.batch_size);
-        AlignedBuffer<std::uint64_t> drain(options.batch_size < 1
-                                               ? 1
-                                               : options.batch_size);
+        BfsWorkspace::ThreadScratch& scratch =
+            ws.scratch[static_cast<std::size_t>(tid)];
+        LocalBatch<vertex_t>& staged = scratch.staged;
+        std::vector<LocalBatch<std::uint64_t>>& remote = scratch.remote;
+        AlignedBuffer<std::uint64_t>& drain = scratch.drain;
 
         // Visit `v` (owned by this socket) with parent `u`; enqueue into
         // `nq` on first visit. Shared by both phases.
@@ -187,7 +157,7 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             FrontierQueue& nq = queues[1 - cur][my];
             ThreadCounters counters;
             // Deque slots never relocate, so the reference stays valid
-            // across tid 0's emplace_back between the barriers.
+            // across tid 0's acquire between the barriers.
             LevelAccum& slot = stats[depth];
 
             // ---- Phase 1: scan this socket's frontier. ----
@@ -280,8 +250,8 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
                 shared.done = next_frontier == 0;
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
-                    stats.emplace_back();
-                    stats[depth + 1].frontier_size = next_frontier;
+                    acquire_level_slot(stats, depth + 1).frontier_size =
+                        next_frontier;
                     for (int s = 0; s < sockets; ++s)
                         plan_frontier(*wqs[s], queues[1 - cur][s].data(),
                                       queues[1 - cur][s].size(), g,
@@ -294,9 +264,24 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
             ++depth;
         }
 
+        // Unreached sentinels for this socket's slice (replaces the old
+        // pre-init pass; writes only unvisited slots).
+        {
+            const auto [lo, hi] = partition.range(my);
+            const auto [b, e] = split_range(
+                hi - lo, ws.socket_threads[static_cast<std::size_t>(my)],
+                rank_in_socket[static_cast<std::size_t>(tid)]);
+            fill_unreached(bitmap, lo + b, lo + e, parent, level);
+        }
+
         shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
         shared.visited.fetch_add(discovered, std::memory_order_relaxed);
     }, &barrier);
+#ifndef NDEBUG
+    // A prepared workspace makes the traversal allocation-free.
+    assert(aligned_alloc_count().load(std::memory_order_relaxed) ==
+           allocs_before);
+#endif
     finish_watchdog(watchdog, "bfs_multisocket");
     result.seconds = timer.seconds();
     spans.collect_into(result);
@@ -306,7 +291,6 @@ BfsResult bfs_multisocket(const CsrGraph& g, vertex_t root,
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
-    return result;
 }
 
 }  // namespace sge::detail

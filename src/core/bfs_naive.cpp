@@ -1,33 +1,43 @@
 #include <atomic>
+#include <cassert>
 
 #include "concurrency/spin_barrier.hpp"
+#include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/partition.hpp"
+#include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
 
 /// Algorithm 1: the high-level parallel BFS before any of the paper's
 /// optimizations. One shared current/next queue pair; the visited check
-/// is an unconditional atomic on the parent array (the listing's lines
-/// 10-12 "must be executed atomically"); vertices are dequeued and
-/// enqueued one at a time (LockedDequeue/LockedEnqueue). This is the
-/// baseline curve of Figure 5.
-BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                    ThreadTeam& team) {
+/// is an unconditional atomic per neighbour (the listing's lines 10-12
+/// "must be executed atomically"); vertices are dequeued and enqueued
+/// one at a time (LockedDequeue/LockedEnqueue). This is the baseline
+/// curve of Figure 5.
+///
+/// Workspace reuse: the claim array packs `epoch | parent` per vertex
+/// (stale stamp == unclaimed), so back-to-back queries skip the O(n)
+/// parent/level re-initialisation — unreached sentinels are written by
+/// a post-traversal fill sweep instead.
+void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+               ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
+    const int sockets = team.sockets_used();
+    const SocketPartition partition(n, sockets);
 
-    BfsResult result;
-    result.parent.resize(n);
-    if (options.compute_levels) result.level.resize(n);
+    reset_result(result, n, options.compute_levels);
 
-    FrontierQueue queues[2] = {FrontierQueue(n), FrontierQueue(n)};
+    FrontierQueue* const queues = ws.queues;
+    WorkQueue& wq = *ws.wq;
+    std::atomic<std::uint64_t>* const claim = ws.claim.data();
+    const std::uint32_t epoch = ws.claim_epoch;
+    const std::uint64_t stamp = static_cast<std::uint64_t>(epoch) << 32;
     SpinBarrier barrier(threads);
-    // kStatic keeps chunk == 1: the unbatched LockedDequeue of
-    // Algorithm 1. Weighted plans batch by out-edges instead.
-    WorkQueue wq(threads, team_socket_map(team));
 
     struct Shared {
         std::atomic<std::uint64_t> visited{0};
@@ -38,9 +48,8 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
         std::atomic<std::uint32_t> levels_run{0};
     } shared;
 
-    LevelAccumLog stats;
-    stats.emplace_back();
-    stats[0].frontier_size = 1;
+    LevelAccumLog& stats = ws.accum;
+    acquire_level_slot(stats, 0).frontier_size = 1;
 
     vertex_t* const parent = result.parent.data();
     level_t* const level = options.compute_levels ? result.level.data() : nullptr;
@@ -54,17 +63,17 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                " q1=" + std::to_string(queues[1].size());
     });
 
+#ifndef NDEBUG
+    const std::uint64_t allocs_before =
+        aligned_alloc_count().load(std::memory_order_relaxed);
+#endif
     WallTimer timer;
     team.run([&](int tid) {
-        // Parallel init: each worker owns an equal slice of the arrays.
-        const auto [init_begin, init_end] = split_range(n, threads, tid);
-        for (std::size_t v = init_begin; v < init_end; ++v) {
-            parent[v] = kInvalidVertex;
-            if (level != nullptr) level[v] = kInvalidLevel;
-        }
-        if (!barrier.arrive_and_wait()) return;
-
+        // No init pass: the workspace's epoch bump already "cleared" the
+        // claim array, and unreached parent/level slots are filled after
+        // the traversal.
         if (tid == 0) {
+            claim[root].store(stamp | root, std::memory_order_relaxed);
             parent[root] = root;
             if (level != nullptr) level[root] = 0;
             queues[0].push_one(root);
@@ -85,7 +94,7 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             FrontierQueue& nq = queues[1 - cur];
             ThreadCounters counters;
             // Deque slots never relocate, so the reference stays valid
-            // across tid 0's emplace_back between the two barriers.
+            // across tid 0's acquire between the two barriers.
             LevelAccum& slot = stats[depth];
 
             std::size_t begin = 0;
@@ -95,18 +104,37 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                 for (std::size_t i = begin; i < end; ++i) {
                     const vertex_t u = cq[i];
+                    // Keep the next vertex's adjacency metadata in
+                    // flight while scanning this one (Section III's
+                    // decoupling of computation and memory requests).
+                    if (i + 1 < end)
+                        prefetch_read(&g.offsets()[cq[i + 1]]);
                     const auto adj = g.neighbors(u);
                     counters.edges_scanned += adj.size();
-                    for (const vertex_t v : adj) {
-                        // Unconditional atomic claim: P[v] == INF -> u.
+                    for (std::size_t j = 0; j < adj.size(); ++j) {
+                        if (j + kVisitedPrefetchDistance < adj.size())
+                            prefetch_read(
+                                &claim[adj[j + kVisitedPrefetchDistance]]);
+                        const vertex_t v = adj[j];
+                        // Unconditional atomic claim on the epoch-stamped
+                        // word (Algorithm 1's atomic P[v] == INF -> u).
                         ++counters.bitmap_checks;
                         ++counters.atomic_ops;
-                        std::atomic_ref<vertex_t> pv(parent[v]);
-                        vertex_t expected = kInvalidVertex;
-                        if (pv.compare_exchange_strong(
-                                expected, u, std::memory_order_acq_rel,
-                                std::memory_order_relaxed)) {
+                        std::atomic<std::uint64_t>& cw = claim[v];
+                        std::uint64_t seen =
+                            cw.load(std::memory_order_relaxed);
+                        bool won = false;
+                        while ((seen >> 32) != epoch) {
+                            if (cw.compare_exchange_weak(
+                                    seen, stamp | u, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+                                won = true;
+                                break;
+                            }
+                        }
+                        if (won) {
                             counters.count_win();
+                            parent[v] = u;  // winner-only plain store
                             if (level != nullptr) level[v] = depth + 1;
                             nq.push_one(v);
                             ++discovered;
@@ -126,8 +154,8 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 shared.done = nq.size() == 0;
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
                 if (!shared.done) {
-                    stats.emplace_back();
-                    stats[depth + 1].frontier_size = nq.size();
+                    acquire_level_slot(stats, depth + 1).frontier_size =
+                        nq.size();
                     plan_frontier(wq, nq.data(), nq.size(), g,
                                   options.schedule, 1);
                 }
@@ -138,9 +166,30 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             ++depth;
         }
 
+        // Fill the unreached sentinels for this socket's slice (replaces
+        // the old pre-init pass; writes only unclaimed slots).
+        {
+            const int my = team.socket_of(tid);
+            const auto [lo, hi] = partition.range(my);
+            const auto [b, e] = split_range(
+                hi - lo, ws.socket_threads[static_cast<std::size_t>(my)],
+                ws.rank_in_socket[static_cast<std::size_t>(tid)]);
+            for (std::size_t v = lo + b; v < lo + e; ++v) {
+                if ((claim[v].load(std::memory_order_relaxed) >> 32) != epoch) {
+                    parent[v] = kInvalidVertex;
+                    if (level != nullptr) level[v] = kInvalidLevel;
+                }
+            }
+        }
+
         shared.edges.fetch_add(total_edges, std::memory_order_relaxed);
         shared.visited.fetch_add(discovered, std::memory_order_relaxed);
     }, &barrier);
+#ifndef NDEBUG
+    // A prepared workspace makes the traversal allocation-free.
+    assert(aligned_alloc_count().load(std::memory_order_relaxed) ==
+           allocs_before);
+#endif
     finish_watchdog(watchdog, "bfs_naive");
     result.seconds = timer.seconds();
     spans.collect_into(result);
@@ -150,7 +199,6 @@ BfsResult bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
-    return result;
 }
 
 }  // namespace sge::detail

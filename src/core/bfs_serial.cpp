@@ -7,11 +7,17 @@ namespace sge::detail {
 /// the "best sequential implementation" every parallel-BFS paper must
 /// beat (Section I cites Bader/Cong/Feo [3] on how rarely that happens),
 /// and the oracle the validator compares reachability against.
-BfsResult bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options) {
+///
+/// Writes into caller-owned `result` (run_into's reuse path): assign()
+/// keeps the capacity of a previous query's arrays. The serial engine
+/// has no visited bitmap — parent[v] == kInvalidVertex IS the visited
+/// test — so the sentinel fill stays, unlike the parallel engines.
+void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
 
-    BfsResult result;
+    reset_result(result, n, options.compute_levels);
     WallTimer timer;
 
     result.parent.assign(n, kInvalidVertex);
@@ -58,7 +64,6 @@ BfsResult bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options
 
     result.num_levels = depth;
     result.seconds = timer.seconds();
-    return result;
 }
 
 }  // namespace sge::detail

@@ -1,0 +1,311 @@
+#include "core/bfs_workspace.hpp"
+
+#include <cstring>
+
+#include "concurrency/thread_team.hpp"
+#include "graph/partition.hpp"
+
+namespace sge {
+
+namespace {
+
+/// Word range of the vertex slice [vlo, vhi) — boundary words shared
+/// with a neighbouring slice are covered by both sides; the zero stores
+/// are idempotent, so the overlap is harmless.
+std::pair<std::size_t, std::size_t> word_range(std::size_t vlo,
+                                               std::size_t vhi) noexcept {
+    constexpr std::size_t w = VersionedBitmap::kSlotsPerWord;
+    return {vlo / w, (vhi + w - 1) / w};
+}
+
+}  // namespace
+
+void BfsWorkspace::prepare(const CsrGraph& g, BfsEngine engine,
+                           const BfsOptions& options, ThreadTeam& team) {
+    if (g.num_vertices() != prepared_n_ || engine != prepared_engine_ ||
+        team.size() != prepared_threads_) {
+        allocate(g, engine, options, team);
+        ++stats.prepares;
+    } else {
+        ++stats.workspace_reuses;
+    }
+    note_graph(g);
+    reset_for_query(engine);
+}
+
+void BfsWorkspace::note_graph(const CsrGraph& g) {
+    const void* offsets = g.offsets().data();
+    if (offsets == tag_offsets_ && g.num_vertices() == tag_n_ &&
+        g.num_edges() == tag_m_)
+        return;
+    // Different graph (even at equal n): degree-derived plans are stale.
+    range_planned = false;
+    ms_planned = false;
+    tag_offsets_ = offsets;
+    tag_n_ = g.num_vertices();
+    tag_m_ = g.num_edges();
+}
+
+void BfsWorkspace::allocate(const CsrGraph& g, BfsEngine engine,
+                            const BfsOptions& options, ThreadTeam& team) {
+    const vertex_t n = g.num_vertices();
+    const int threads = team.size();
+    const int sockets = team.sockets_used();
+    const std::size_t batch = options.batch_size < 1 ? 1 : options.batch_size;
+
+    // Poison until every allocation lands: a fault-injected bad_alloc
+    // mid-way must force a full clean retry on the next prepare.
+    prepared_n_ = kInvalidVertex;
+
+    rank_in_socket.assign(static_cast<std::size_t>(threads), 0);
+    socket_threads.assign(static_cast<std::size_t>(sockets), 0);
+    for (int t = 0; t < threads; ++t) {
+        const int s = team.socket_of(t);
+        rank_in_socket[static_cast<std::size_t>(t)] = socket_threads[s]++;
+    }
+
+    // Release every engine-specific arena, then build the selected
+    // engine's. A runner only dispatches one engine, so the workspace
+    // only ever pays for one.
+    visited = VersionedBitmap();
+    frontier_bits[0] = VersionedBitmap();
+    frontier_bits[1] = VersionedBitmap();
+    claim = AlignedBuffer<std::atomic<std::uint64_t>>();
+    claim_epoch = 0;
+    queues[0] = FrontierQueue();
+    queues[1] = FrontierQueue();
+    socket_queues[0].clear();
+    socket_queues[1].clear();
+    channels.clear();
+    wq.reset();
+    range_wq.reset();
+    range_planned = false;
+    socket_wqs.clear();
+    scratch.clear();
+
+    switch (engine) {
+        case BfsEngine::kNaive:
+            claim = AlignedBuffer<std::atomic<std::uint64_t>>(n);
+            queues[0] = FrontierQueue(n);
+            queues[1] = FrontierQueue(n);
+            wq = std::make_unique<WorkQueue>(threads,
+                                             detail::team_socket_map(team));
+            break;
+        case BfsEngine::kBitmap:
+            visited = VersionedBitmap(n, /*zeroed=*/false);
+            queues[0] = FrontierQueue(n);
+            queues[1] = FrontierQueue(n);
+            wq = std::make_unique<WorkQueue>(threads,
+                                             detail::team_socket_map(team));
+            scratch.resize(static_cast<std::size_t>(threads));
+            for (ThreadScratch& s : scratch)
+                s.staged = LocalBatch<vertex_t>(batch);
+            break;
+        case BfsEngine::kMultiSocket: {
+            const SocketPartition partition(n, sockets);
+            visited = VersionedBitmap(n, /*zeroed=*/false);
+            for (int s = 0; s < sockets; ++s) {
+                socket_queues[0].emplace_back(partition.size(s));
+                socket_queues[1].emplace_back(partition.size(s));
+                channels.push_back(
+                    std::make_unique<Channel<std::uint64_t, kEmptyVisit>>(
+                        options.channel_capacity));
+                const int peers = socket_threads[static_cast<std::size_t>(s)];
+                socket_wqs.push_back(std::make_unique<WorkQueue>(
+                    peers < 1 ? 1 : peers,
+                    std::vector<int>(
+                        static_cast<std::size_t>(peers < 1 ? 1 : peers), 0)));
+            }
+            scratch.resize(static_cast<std::size_t>(threads));
+            for (ThreadScratch& s : scratch) {
+                s.staged = LocalBatch<vertex_t>(batch);
+                s.remote.clear();
+                s.remote.reserve(static_cast<std::size_t>(sockets));
+                for (int k = 0; k < sockets; ++k) s.remote.emplace_back(batch);
+                s.drain = AlignedBuffer<std::uint64_t>(batch);
+            }
+            break;
+        }
+        case BfsEngine::kHybrid:
+            visited = VersionedBitmap(n, /*zeroed=*/false);
+            frontier_bits[0] = VersionedBitmap(n, /*zeroed=*/false);
+            frontier_bits[1] = VersionedBitmap(n, /*zeroed=*/false);
+            queues[0] = FrontierQueue(n);
+            queues[1] = FrontierQueue(n);
+            wq = std::make_unique<WorkQueue>(threads,
+                                             detail::team_socket_map(team));
+            range_wq = std::make_unique<WorkQueue>(
+                threads, detail::team_socket_map(team));
+            scratch.resize(static_cast<std::size_t>(threads));
+            for (ThreadScratch& s : scratch)
+                s.staged = LocalBatch<vertex_t>(batch);
+            break;
+        case BfsEngine::kSerial:
+        case BfsEngine::kAuto:
+            break;  // no parallel arena
+    }
+
+    first_touch(engine, team);
+
+    prepared_n_ = n;
+    prepared_engine_ = engine;
+    prepared_threads_ = threads;
+}
+
+void BfsWorkspace::first_touch(BfsEngine engine, ThreadTeam& team) {
+    const vertex_t vertices = [&] {
+        switch (engine) {
+            case BfsEngine::kNaive:
+                return static_cast<vertex_t>(claim.size());
+            case BfsEngine::kBitmap:
+            case BfsEngine::kMultiSocket:
+            case BfsEngine::kHybrid:
+                return static_cast<vertex_t>(visited.size_bits());
+            default:
+                return vertex_t{0};
+        }
+    }();
+    if (vertices == 0) return;
+
+    const int sockets = team.sockets_used();
+    const SocketPartition partition(vertices, sockets);
+
+    // Each socket's pinned workers fault in that socket's slice of every
+    // vertex-indexed array — the paper's placement rule, applied once at
+    // allocation instead of every traversal.
+    team.run([&](int tid) {
+        const int my = team.socket_of(tid);
+        const auto [lo, hi] = partition.range(my);
+        const int peers = socket_threads[static_cast<std::size_t>(my)];
+        const auto [b, e] = detail::split_range(
+            hi - lo, peers, rank_in_socket[static_cast<std::size_t>(tid)]);
+        const std::size_t vlo = lo + b;
+        const std::size_t vhi = lo + e;
+        if (vlo >= vhi) return;
+        const auto [wlo, whi] = word_range(vlo, vhi);
+
+        switch (engine) {
+            case BfsEngine::kNaive:
+                for (std::size_t v = vlo; v < vhi; ++v)
+                    claim[v].store(0, std::memory_order_relaxed);
+                for (FrontierQueue& q : queues)
+                    std::memset(q.slots_mut() + vlo, 0,
+                                (vhi - vlo) * sizeof(vertex_t));
+                break;
+            case BfsEngine::kBitmap:
+                visited.clear_words(wlo, whi);
+                for (FrontierQueue& q : queues)
+                    std::memset(q.slots_mut() + vlo, 0,
+                                (vhi - vlo) * sizeof(vertex_t));
+                break;
+            case BfsEngine::kMultiSocket:
+                visited.clear_words(wlo, whi);
+                // The socket's queues are indexed by socket-local
+                // position; this worker's share is [b, e).
+                for (auto* phase : {&socket_queues[0], &socket_queues[1]}) {
+                    FrontierQueue& q = (*phase)[static_cast<std::size_t>(my)];
+                    std::memset(q.slots_mut() + b, 0,
+                                (e - b) * sizeof(vertex_t));
+                }
+                break;
+            case BfsEngine::kHybrid:
+                visited.clear_words(wlo, whi);
+                frontier_bits[0].clear_words(wlo, whi);
+                frontier_bits[1].clear_words(wlo, whi);
+                for (FrontierQueue& q : queues)
+                    std::memset(q.slots_mut() + vlo, 0,
+                                (vhi - vlo) * sizeof(vertex_t));
+                break;
+            default:
+                break;
+        }
+    });
+}
+
+void BfsWorkspace::reset_for_query(BfsEngine engine) {
+    switch (engine) {
+        case BfsEngine::kNaive:
+            if (claim_epoch == VersionedBitmap::kMaxEpoch) {
+                // Once per ~4 billion queries: physically rewind the
+                // claim stamps and restart the epoch sequence.
+                for (std::size_t v = 0; v < claim.size(); ++v)
+                    claim[v].store(0, std::memory_order_relaxed);
+                claim_epoch = 1;
+                stats.reset_words_touched += claim.size();
+            } else {
+                ++claim_epoch;
+            }
+            queues[0].reset();
+            queues[1].reset();
+            break;
+        case BfsEngine::kBitmap:
+            stats.reset_words_touched += visited.advance_epoch();
+            queues[0].reset();
+            queues[1].reset();
+            break;
+        case BfsEngine::kMultiSocket: {
+            stats.reset_words_touched += visited.advance_epoch();
+            for (FrontierQueue& q : socket_queues[0]) q.reset();
+            for (FrontierQueue& q : socket_queues[1]) q.reset();
+            // An aborted run (watchdog / fault injection) can leave
+            // undrained tuples behind; flush them so they cannot leak
+            // into the next query as phantom visits.
+            std::uint64_t sink[64];
+            for (auto& ch : channels)
+                while (ch->pop_batch(sink, 64) != 0) {
+                }
+            break;
+        }
+        case BfsEngine::kHybrid:
+            stats.reset_words_touched += visited.advance_epoch();
+            stats.reset_words_touched += frontier_bits[0].advance_epoch();
+            stats.reset_words_touched += frontier_bits[1].advance_epoch();
+            queues[0].reset();
+            queues[1].reset();
+            break;
+        default:
+            break;
+    }
+    for (ThreadScratch& s : scratch) {
+        s.staged.clear();
+        for (LocalBatch<std::uint64_t>& r : s.remote) r.clear();
+    }
+}
+
+void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
+                              ThreadTeam& team) {
+    const vertex_t n = g.num_vertices();
+    const int threads = team.size();
+    if (n != ms_n_ || threads != ms_threads_) {
+        ms_n_ = kInvalidVertex;  // poison until all three land
+        ms_seen = AlignedBuffer<std::atomic<std::uint64_t>>(n);
+        ms_frontier = AlignedBuffer<std::uint64_t>(n);
+        ms_next = AlignedBuffer<std::atomic<std::uint64_t>>(n);
+        ms_wq = std::make_unique<WorkQueue>(threads,
+                                            detail::team_socket_map(team));
+        ms_planned = false;
+        ms_n_ = n;
+        ms_threads_ = threads;
+        ++stats.prepares;
+    } else {
+        ++stats.workspace_reuses;
+    }
+    note_graph(g);
+    if (schedule != ms_schedule_) ms_planned = false;
+    if (schedule == SchedulePolicy::kStatic) return;
+    // Cut the degree-weighted [0, n) plan once per (graph, schedule);
+    // later calls only rewind its cursors. MS-BFS's own init pass zeroes
+    // (and on the first call first-touches) the lane buffers — a full
+    // clear is inherent to the 64-lane masks.
+    if (!ms_planned) {
+        detail::plan_vertex_range(
+            *ms_wq, n, g, schedule,
+            detail::resolve_bottomup_chunk({}, n, threads));
+        ms_planned = true;
+        ms_schedule_ = schedule;
+    } else {
+        ms_wq->reset_cursors();
+    }
+}
+
+}  // namespace sge

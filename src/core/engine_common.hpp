@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "concurrency/spin_barrier.hpp"
+#include "concurrency/versioned_bitmap.hpp"
 #include "concurrency/work_queue.hpp"
 #include "core/bfs.hpp"
 #include "core/frontier.hpp"
@@ -149,12 +150,49 @@ struct LevelAccum {
     LevelAccum() = default;
     LevelAccum(const LevelAccum&) = delete;
     LevelAccum& operator=(const LevelAccum&) = delete;
+
+    /// Rewinds a slot for reuse across queries (workspace-owned logs
+    /// keep their slots allocated; the values must not leak between
+    /// runs). Relaxed: called between barriers / before the run.
+    void reset() noexcept {
+        frontier_size = 0;
+        seconds = 0.0;
+        edges_scanned.store(0, std::memory_order_relaxed);
+        bitmap_checks.store(0, std::memory_order_relaxed);
+        atomic_ops.store(0, std::memory_order_relaxed);
+        remote_tuples.store(0, std::memory_order_relaxed);
+        bitmap_skips.store(0, std::memory_order_relaxed);
+        atomic_wins.store(0, std::memory_order_relaxed);
+        batches_pushed.store(0, std::memory_order_relaxed);
+        batches_popped.store(0, std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kBatchOccupancyBuckets; ++b)
+            batch_occupancy[b].store(0, std::memory_order_relaxed);
+        barrier_wait_ns.store(0, std::memory_order_relaxed);
+        chunks_claimed.store(0, std::memory_order_relaxed);
+        chunks_stolen.store(0, std::memory_order_relaxed);
+        max_thread_edges.store(0, std::memory_order_relaxed);
+    }
 };
 
 /// The per-run log of LevelAccum slots. A deque, not a vector, so
 /// emplace_back (thread 0, between barriers) never invalidates the slot
 /// references other workers hold while timing their barrier waits.
 using LevelAccumLog = std::deque<LevelAccum>;
+
+/// Slot for level `depth`, reusing (and rewinding) a slot left behind by
+/// a previous query on the same workspace-owned log, or growing the log
+/// by one. Engines acquire slots sequentially (depth 0 in the prologue,
+/// depth+1 in thread 0's end-of-level window), so `depth` is at most
+/// log.size(). Stale slots beyond this run's depth are harmless —
+/// copy_level_stats only copies the levels that actually ran.
+inline LevelAccum& acquire_level_slot(LevelAccumLog& log, std::size_t depth) {
+    if (depth < log.size()) {
+        log[depth].reset();
+        return log[depth];
+    }
+    log.emplace_back();
+    return log.back();
+}
 
 /// Worker-local counters, flushed into a LevelAccum once per level so
 /// the hot loop touches no shared cache lines. Cache-line aligned: the
@@ -325,6 +363,48 @@ inline void check_root(const CsrGraph& g, vertex_t root) {
     if (root >= g.num_vertices())
         throw std::out_of_range("bfs: root vertex out of range");
 }
+
+/// Rewinds a (possibly reused) BfsResult for a fresh run: the dense
+/// arrays are resized to `n` — a no-op on back-to-back queries over the
+/// same graph, which is the whole point of run_into — and the scalars
+/// and logs cleared. The arrays are NOT sentinel-filled here: the
+/// parallel engines write every slot exactly once (claimed vertices by
+/// their winner, unreached vertices by the post-traversal
+/// fill_unreached sweep).
+inline void reset_result(BfsResult& result, vertex_t n, bool levels) {
+    result.parent.resize(n);
+    if (levels)
+        result.level.resize(n);
+    else
+        result.level.clear();
+    result.vertices_visited = 0;
+    result.edges_traversed = 0;
+    result.num_levels = 0;
+    result.seconds = 0.0;
+    result.level_stats.clear();
+    result.thread_spans.clear();
+}
+
+/// Post-traversal sweep writing the unreached sentinels into [lo, hi):
+/// the replacement for the old O(n) pre-initialisation pass. Reads the
+/// visited bitmap and writes only the slots no winner claimed, so on a
+/// fully-reached graph it is a read-only scan of the (cache-resident)
+/// bitmap.
+inline void fill_unreached(const VersionedBitmap& visited, std::size_t lo,
+                           std::size_t hi, vertex_t* parent,
+                           level_t* level) noexcept {
+    for (std::size_t v = lo; v < hi; ++v) {
+        if (!visited.test(v)) {
+            parent[v] = kInvalidVertex;
+            if (level != nullptr) level[v] = kInvalidLevel;
+        }
+    }
+}
+
+/// Adjacency-scan lookahead distance (in neighbours) for the visited /
+/// claim word prefetch — far enough to cover a demand miss, near enough
+/// that the line is still resident when the scan catches up.
+inline constexpr std::size_t kVisitedPrefetchDistance = 8;
 
 /// Copies accumulated per-level slots into `out` (dropping the trailing
 /// slot engines pre-create for a level that never ran).

@@ -80,6 +80,10 @@ class FrontierQueue {
         return slots_[i];
     }
 
+    /// Mutable slot storage — used by the workspace's first-touch pass so
+    /// each socket's workers fault in their own slice of the queue pages.
+    [[nodiscard]] vertex_t* slots_mut() noexcept { return slots_.data(); }
+
     /// Number of vertices enqueued. Exact once producers are quiescent.
     [[nodiscard]] std::size_t size() const noexcept {
         return push_->load(std::memory_order_acquire);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 
 #include "concurrency/spin_barrier.hpp"
 #include "concurrency/thread_team.hpp"
+#include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/timer.hpp"
@@ -30,26 +32,56 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                 throw std::invalid_argument(
                     "multi_source_bfs: duplicate source vertex");
 
-    // seen: union of lanes that reached each vertex; frontier/next: the
-    // lanes that reached it exactly this level / next level.
-    AlignedBuffer<std::atomic<std::uint64_t>> seen(n);
-    AlignedBuffer<std::uint64_t> frontier(n);
-    AlignedBuffer<std::atomic<std::uint64_t>> next(n);
+    if (options.workspace != nullptr && options.team == nullptr)
+        throw std::invalid_argument(
+            "multi_source_bfs: workspace reuse requires an external team");
 
-    const int threads = std::max(1, options.threads);
-    ThreadTeam team(threads,
-                    options.topology ? *options.topology : Topology::detect());
+    // External team (query-throughput mode) or a per-call one.
+    std::unique_ptr<ThreadTeam> owned_team;
+    if (options.team == nullptr)
+        owned_team = std::make_unique<ThreadTeam>(
+            std::max(1, options.threads),
+            options.topology ? *options.topology : Topology::detect());
+    ThreadTeam& team = options.team != nullptr ? *options.team : *owned_team;
+    const int threads = team.size();
     SpinBarrier barrier(threads);
+
+    // seen: union of lanes that reached each vertex; frontier/next: the
+    // lanes that reached it exactly this level / next level. Either
+    // per-call buffers or the workspace's reusable lane arenas.
+    BfsWorkspace* const ws = options.workspace;
+    AlignedBuffer<std::atomic<std::uint64_t>> local_seen;
+    AlignedBuffer<std::uint64_t> local_frontier;
+    AlignedBuffer<std::atomic<std::uint64_t>> local_next;
+    std::unique_ptr<WorkQueue> local_wq;
 
     // Degree-weighted scan scheduling: one cut of [0, n) up front (the
     // weights never change), cursors rewound each level by tid 0.
     // kStatic bypasses the queue entirely — fixed slices, the legacy
     // behaviour.
     const bool scheduled = options.schedule != SchedulePolicy::kStatic;
-    WorkQueue wq(threads, detail::team_socket_map(team));
-    if (scheduled)
-        detail::plan_vertex_range(wq, n, g, options.schedule,
-                                  detail::resolve_bottomup_chunk({}, n, threads));
+    if (ws != nullptr) {
+        // prepare_ms (re)allocates the lane buffers on shape change and
+        // cuts/rewinds the dense-scan plan.
+        ws->prepare_ms(g, options.schedule, team);
+    } else {
+        local_seen = AlignedBuffer<std::atomic<std::uint64_t>>(n);
+        local_frontier = AlignedBuffer<std::uint64_t>(n);
+        local_next = AlignedBuffer<std::atomic<std::uint64_t>>(n);
+        local_wq =
+            std::make_unique<WorkQueue>(threads, detail::team_socket_map(team));
+        if (scheduled)
+            detail::plan_vertex_range(
+                *local_wq, n, g, options.schedule,
+                detail::resolve_bottomup_chunk({}, n, threads));
+    }
+    std::atomic<std::uint64_t>* const seen =
+        ws != nullptr ? ws->ms_seen.data() : local_seen.data();
+    std::uint64_t* const frontier =
+        ws != nullptr ? ws->ms_frontier.data() : local_frontier.data();
+    std::atomic<std::uint64_t>* const next =
+        ws != nullptr ? ws->ms_next.data() : local_next.data();
+    WorkQueue& wq = ws != nullptr ? *ws->ms_wq : *local_wq;
 
     struct Shared {
         std::atomic<std::uint64_t> active{0};
@@ -59,9 +91,9 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
 
     const bool collect =
         options.collect_stats && options.level_stats != nullptr;
-    detail::LevelAccumLog stats;
-    stats.emplace_back();
-    stats[0].frontier_size = sources.size();
+    detail::LevelAccumLog local_stats;
+    detail::LevelAccumLog& stats = ws != nullptr ? ws->accum : local_stats;
+    detail::acquire_level_slot(stats, 0).frontier_size = sources.size();
 
     team.run([&](int tid) {
         // Parallel init.
@@ -168,8 +200,8 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                 shared.active.store(0, std::memory_order_relaxed);
                 ++shared.levels;
                 if (!shared.done) {
-                    stats.emplace_back();
-                    stats[level + 1].frontier_size = active;
+                    detail::acquire_level_slot(stats, level + 1).frontier_size =
+                        active;
                     if (scheduled) wq.reset_cursors();
                 }
             }

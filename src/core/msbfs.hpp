@@ -12,6 +12,9 @@
 
 namespace sge {
 
+class ThreadTeam;
+class BfsWorkspace;
+
 /// Discovery callback for multi_source_bfs. Invoked once per (vertex,
 /// level) with a bitmask over the source batch: bit i set means
 /// sources[i] first reaches `v` at distance `level`. May be called
@@ -23,6 +26,17 @@ using MsBfsVisitor =
 struct MsBfsOptions {
     int threads = 1;
     std::optional<Topology> topology;
+
+    /// Query-throughput mode: run on an existing pinned team instead of
+    /// spinning one up per call (when set, `threads`/`topology` are
+    /// ignored — the team's shape wins).
+    ThreadTeam* team = nullptr;
+
+    /// Reuse a BfsRunner-owned workspace's MS-BFS lane buffers and
+    /// dense-scan plan across calls (prepare_ms). Requires `team` (the
+    /// buffers are first-touched/placed for that team's pinning). When
+    /// null, per-call buffers are allocated as before.
+    BfsWorkspace* workspace = nullptr;
 
     /// Scan-phase scheduling. kStatic keeps the legacy fixed per-thread
     /// vertex slices; the weighted policies claim degree-balanced chunks

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -12,6 +14,16 @@
 #include "runtime/fault.hpp"
 
 namespace sge {
+
+/// Process-wide count of AlignedBuffer heap allocations. The workspace
+/// engines snapshot it around their level loops in debug builds to
+/// assert that a prepared workspace really makes traversal
+/// allocation-free (Channel spill vectors are by-design untracked
+/// overflow). Relaxed: a monotonic diagnostic counter, not a fence.
+inline std::atomic<std::uint64_t>& aligned_alloc_count() noexcept {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
 
 /// Fixed-size, cache-line-aligned, heap-allocated array.
 ///
@@ -43,6 +55,7 @@ class AlignedBuffer {
         const std::size_t bytes = round_up_to_cacheline(count * sizeof(T));
         void* p = std::aligned_alloc(kCacheLineSize, bytes);
         if (p == nullptr) throw std::bad_alloc{};
+        aligned_alloc_count().fetch_add(1, std::memory_order_relaxed);
         if (zeroed) std::memset(p, 0, bytes);
         data_.reset(static_cast<T*>(p));
     }
