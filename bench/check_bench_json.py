@@ -24,6 +24,10 @@ Likewise any file whose series carry a "reuse" param (bench_throughput:
 queries_per_second no lower than one-shot by more than the tolerance on
 each matching cell — workspace reuse may never cost throughput.
 Comparing a file against itself exercises only these intra-file guards.
+Independently of any baseline, a series whose params carry "faults"=0
+(bench_service clean runs) must report zero "degraded" and zero "shed"
+requests — degradation and shedding are fault responses, never
+steady-state behaviour.
 
 The schema itself is documented in docs/OBSERVABILITY.md.
 """
@@ -75,6 +79,14 @@ def check_entry(errors, path, i, entry):
             fail(errors, path, f"{where}.metrics.{k} is negative: {v!r}")
 
     # Semantic spot checks per series flavour.
+    if params.get("faults") == 0:
+        # A fault-free service run must not degrade or shed: both are
+        # fault responses, never steady-state behaviour (bench_service).
+        for forbidden in ("degraded", "shed"):
+            if metrics.get(forbidden):
+                fail(errors, path,
+                     f"{where} ({name}): {forbidden}={metrics[forbidden]!r} "
+                     f"in a faults=0 series (must be 0)")
     eps = metrics.get("edges_per_second")
     if eps is not None and not eps > 0:
         fail(errors, path, f"{where} ({name}): edges_per_second not positive")

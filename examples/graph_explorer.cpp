@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "core/bfs.hpp"
 #include "core/validate.hpp"
@@ -29,6 +31,8 @@
 #include "graph/io.hpp"
 #include "graph/reorder.hpp"
 #include "runtime/prng.hpp"
+#include "runtime/timer.hpp"
+#include "service/graph_service.hpp"
 
 namespace {
 
@@ -52,6 +56,14 @@ struct Cli {
     bool validate = false;
     bool stats = false;       // per-level counter table after the last run
     std::string trace;        // Chrome trace JSON path (implies stats)
+
+    // --serve: query-service mode (service/graph_service.hpp) instead of
+    // the timed-runs loop. N requests stream through a GraphService.
+    int serve = 0;                  // request count; 0 = mode off
+    int serve_workers = 1;          // dispatcher threads
+    std::size_t serve_queue = 256;  // admission queue depth (backpressure)
+    double serve_window_ms = 0.5;   // wave-coalescing flush window
+    double serve_deadline_ms = 0;   // per-request deadline; 0 = none
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -65,7 +77,9 @@ struct Cli {
         "          [--schedule static|edge_weighted|stealing]\n"
         "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
         "          [--width N] [--height N] [--seed N] [--validate]\n"
-        "          [--stats] [--trace FILE.json]\n",
+        "          [--stats] [--trace FILE.json]\n"
+        "          [--serve N] [--serve-workers N] [--serve-queue N]\n"
+        "          [--serve-window MS] [--serve-deadline MS]\n",
         argv0);
     std::exit(2);
 }
@@ -97,6 +111,14 @@ Cli parse(int argc, char** argv) {
         else if (arg == "--validate") cli.validate = true;
         else if (arg == "--stats") cli.stats = true;
         else if (arg == "--trace") cli.trace = next();
+        else if (arg == "--serve") cli.serve = std::atoi(next());
+        else if (arg == "--serve-workers") cli.serve_workers = std::atoi(next());
+        else if (arg == "--serve-queue")
+            cli.serve_queue = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--serve-window")
+            cli.serve_window_ms = std::atof(next());
+        else if (arg == "--serve-deadline")
+            cli.serve_deadline_ms = std::atof(next());
         else usage(argv[0]);
     }
     return cli;
@@ -232,6 +254,64 @@ int main(int argc, char** argv) {
     const bool instrument =
         (cli.stats || !cli.trace.empty()) && obs::enabled();
     options.collect_stats = instrument;
+
+    if (cli.serve > 0) {
+        // Query-service mode: N single-source queries stream through a
+        // GraphService — bounded admission, per-request deadlines, wave
+        // coalescing, graceful degradation (docs/ROBUSTNESS.md).
+        service::ServiceOptions sopt;
+        sopt.bfs = options;
+        sopt.workers = cli.serve_workers;
+        sopt.queue_capacity = cli.serve_queue;
+        sopt.batch_window_seconds = cli.serve_window_ms / 1e3;
+        sopt.default_deadline_seconds = cli.serve_deadline_ms / 1e3;
+        service::GraphService svc(graph, sopt);
+        std::printf("service: %d workers, queue %zu, window %.3f ms, "
+                    "deadline %s\n",
+                    sopt.workers, sopt.queue_capacity, cli.serve_window_ms,
+                    cli.serve_deadline_ms > 0
+                        ? (std::to_string(cli.serve_deadline_ms) + " ms").c_str()
+                        : "none");
+
+        Xoshiro256 roots_rng(cli.seed + 2000);
+        std::vector<std::future<service::QueryResult>> futures;
+        futures.reserve(static_cast<std::size_t>(cli.serve));
+        WallTimer timer;
+        for (int i = 0; i < cli.serve; ++i) {
+            const auto root = static_cast<vertex_t>(
+                roots_rng.next_below(graph.num_vertices()));
+            futures.push_back(svc.submit(root).result);
+        }
+        double max_latency_ms = 0.0;
+        for (auto& f : futures) {
+            const service::QueryResult r = f.get();
+            max_latency_ms = std::max(max_latency_ms,
+                                      r.latency_seconds() * 1e3);
+        }
+        const double seconds = timer.seconds();
+        svc.stop();
+
+        const auto& c = svc.counters();
+        std::printf("  %d requests in %.3f s (%.0f queries/s), "
+                    "max latency %.3f ms\n",
+                    cli.serve, seconds,
+                    seconds > 0 ? cli.serve / seconds : 0.0, max_latency_ms);
+        std::printf("  outcomes: %llu completed (%llu via waves), "
+                    "%llu degraded, %llu cancelled, %llu shed, %llu failed\n",
+                    static_cast<unsigned long long>(c.completed.load()),
+                    static_cast<unsigned long long>(c.batched.load()),
+                    static_cast<unsigned long long>(c.degraded.load()),
+                    static_cast<unsigned long long>(c.cancelled.load()),
+                    static_cast<unsigned long long>(c.shed.load()),
+                    static_cast<unsigned long long>(c.failed.load()));
+        std::printf("  waves: %llu (%llu roots coalesced), healthy workers "
+                    "%d/%d\n",
+                    static_cast<unsigned long long>(c.waves.load()),
+                    static_cast<unsigned long long>(c.wave_roots.load()),
+                    svc.healthy_workers(), sopt.workers);
+        return c.resolved() == c.submitted.load() ? 0 : 1;
+    }
+
     BfsRunner runner(options);
     std::printf("engine: %s, %d threads on %s, %s schedule\n",
                 to_string(runner.resolved_engine()).c_str(), runner.threads(),

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/cancel_token.hpp"
 #include "concurrency/thread_team.hpp"
 #include "concurrency/work_queue.hpp"
 #include "graph/csr_graph.hpp"
@@ -100,14 +101,54 @@ struct BfsOptions {
     /// diagnostic snapshot (level reached, queue depths, channel
     /// counters) instead of hanging.
     double watchdog_seconds = 0.0;
+
+    /// Optional cooperative cancellation (not owned; must outlive the
+    /// run). Thread 0 polls once per level; a fired token ends the
+    /// traversal at the next level barrier and the engine throws
+    /// BfsDeadlineError with cancelled() == true and the partial
+    /// progress filled in. Unlike the watchdog this never aborts the
+    /// barrier, so the workspace stays immediately reusable — it is the
+    /// per-request deadline mechanism of the query service, which
+    /// supersedes the global watchdog for service runs.
+    CancelToken* cancel = nullptr;
 };
 
-/// Thrown by the parallel engines when BfsOptions::watchdog_seconds (or
-/// SGE_BFS_WATCHDOG_MS) expires before the traversal completes. what()
-/// carries the stall diagnostics.
+/// Thrown by the engines when a run ends before the traversal completes:
+/// either BfsOptions::watchdog_seconds (or SGE_BFS_WATCHDOG_MS) expired
+/// — cancelled() == false — or a BfsOptions::cancel token fired —
+/// cancelled() == true. what() carries the stall diagnostics; the
+/// accessors carry the partial progress so callers (and the service's
+/// degraded-retry path) can report how far the run got instead of a
+/// bare timeout.
 class BfsDeadlineError : public std::runtime_error {
   public:
-    using std::runtime_error::runtime_error;
+    explicit BfsDeadlineError(const std::string& what_arg,
+                              std::uint32_t level_reached = 0,
+                              std::uint64_t vertices_settled = 0,
+                              bool cancelled = false)
+        : std::runtime_error(what_arg),
+          level_reached_(level_reached),
+          vertices_settled_(vertices_settled),
+          cancelled_(cancelled) {}
+
+    /// Deepest BFS level that fully completed before the run stopped.
+    [[nodiscard]] std::uint32_t level_reached() const noexcept {
+        return level_reached_;
+    }
+
+    /// Vertices whose parent was settled before the run stopped.
+    [[nodiscard]] std::uint64_t vertices_settled() const noexcept {
+        return vertices_settled_;
+    }
+
+    /// True for cooperative cancellation (a fired CancelToken), false
+    /// for a watchdog abort.
+    [[nodiscard]] bool cancelled() const noexcept { return cancelled_; }
+
+  private:
+    std::uint32_t level_reached_ = 0;
+    std::uint64_t vertices_settled_ = 0;
+    bool cancelled_ = false;
 };
 
 /// Buckets of the per-level channel-batch occupancy histogram: bucket i

@@ -50,6 +50,7 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
         std::atomic<std::uint64_t> edges{0};
         int current = 0;
         bool done = false;
+        bool cancelled = false;  // written by tid 0 between barriers
         // Atomic so the watchdog may snapshot it mid-run.
         std::atomic<std::uint32_t> levels_run{0};
     } shared;
@@ -158,6 +159,10 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 shared.current = 1 - cur;
                 shared.done = nq.size() == 0;
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
+                if (!shared.done && poll_cancel(options)) {
+                    shared.cancelled = true;
+                    shared.done = true;
+                }
                 if (!shared.done) {
                     acquire_level_slot(stats, depth + 1).frontier_size =
                         nq.size();
@@ -190,11 +195,15 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     assert(aligned_alloc_count().load(std::memory_order_relaxed) ==
            allocs_before);
 #endif
-    finish_watchdog(watchdog, "bfs_bitmap");
+    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
+    finish_watchdog(watchdog, "bfs_bitmap", levels,
+                    shared.visited.load(std::memory_order_relaxed));
+    if (shared.cancelled)
+        throw_cancelled("bfs_bitmap", levels,
+                        shared.visited.load(std::memory_order_relaxed));
     result.seconds = timer.seconds();
     spans.collect_into(result);
 
-    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited.load(std::memory_order_relaxed);
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;

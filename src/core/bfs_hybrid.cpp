@@ -82,6 +82,7 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
         bool convert_to_bits = false;
         bool convert_to_queue = false;
         bool done = false;
+        bool cancelled = false;  // written by tid 0 between barriers
         // Atomic so the watchdog may snapshot it mid-run.
         std::atomic<std::uint32_t> levels_run{0};
         std::uint64_t frontier_size = 1;
@@ -288,6 +289,15 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 shared.next_frontier_size.store(0, std::memory_order_relaxed);
                 shared.next_frontier_degree.store(0, std::memory_order_relaxed);
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);
+                if (!shared.done && poll_cancel(options)) {
+                    shared.cancelled = true;
+                    shared.done = true;
+                    // The conversion phases below are skipped too: every
+                    // worker breaks out of the level loop at the next
+                    // barrier before reaching them.
+                    shared.convert_to_bits = false;
+                    shared.convert_to_queue = false;
+                }
                 if (!shared.done) {
                     acquire_level_slot(stats, depth + 1).frontier_size =
                         next_size;
@@ -383,11 +393,15 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     assert(aligned_alloc_count().load(std::memory_order_relaxed) ==
            allocs_before);
 #endif
-    finish_watchdog(watchdog, "bfs_hybrid");
+    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
+    finish_watchdog(watchdog, "bfs_hybrid", levels,
+                    shared.visited_count.load(std::memory_order_relaxed));
+    if (shared.cancelled)
+        throw_cancelled("bfs_hybrid", levels,
+                        shared.visited_count.load(std::memory_order_relaxed));
     result.seconds = timer.seconds();
     spans.collect_into(result);
 
-    const std::uint32_t levels = shared.levels_run.load(std::memory_order_relaxed);
     result.vertices_visited = shared.visited_count.load(std::memory_order_relaxed);
     // Library convention: ma = sum of degrees over visited vertices, so
     // rates are comparable across engines regardless of how much work

@@ -60,6 +60,12 @@ void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
         ++depth;
         current.swap(next);
         next.clear();
+        // Same once-per-level cadence as the parallel engines' tid-0
+        // window, so fire_after_polls(k) means "cancel at level k" here
+        // too. Polled after the swap so a finished traversal is never
+        // reported cancelled.
+        if (!current.empty() && poll_cancel(options))
+            throw_cancelled("bfs_serial", depth, result.vertices_visited);
     }
 
     result.num_levels = depth;

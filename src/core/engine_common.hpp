@@ -111,12 +111,39 @@ class LevelWatchdog {
 
 /// Shared epilogue: disarm the watchdog and convert a firing into the
 /// documented error. Call immediately after team.run() returns.
-inline void finish_watchdog(LevelWatchdog& watchdog, const char* engine) {
+/// `level_reached`/`vertices_settled` are the partial progress to carry
+/// in the error (pass the run's shared counters when available).
+inline void finish_watchdog(LevelWatchdog& watchdog, const char* engine,
+                            std::uint32_t level_reached = 0,
+                            std::uint64_t vertices_settled = 0) {
     watchdog.disarm();
     if (watchdog.fired())
         throw BfsDeadlineError(std::string(engine) +
-                               ": watchdog deadline exceeded; " +
-                               watchdog.report());
+                                   ": watchdog deadline exceeded; " +
+                                   watchdog.report(),
+                               level_reached, vertices_settled,
+                               /*cancelled=*/false);
+}
+
+/// Thread 0's once-per-level cancellation check (free when no token is
+/// threaded through the options). Engines call this in the end-of-level
+/// bookkeeping window; a fired token makes them mark the run done so
+/// every worker exits at the next barrier.
+inline bool poll_cancel(const BfsOptions& options) noexcept {
+    return options.cancel != nullptr && options.cancel->poll();
+}
+
+/// Shared epilogue for cooperative cancellation: call after team.run()
+/// (and after finish_watchdog) when the run ended because a CancelToken
+/// fired. Throws the documented error carrying the partial progress.
+[[noreturn]] inline void throw_cancelled(const char* engine,
+                                         std::uint32_t level_reached,
+                                         std::uint64_t vertices_settled) {
+    throw BfsDeadlineError(
+        std::string(engine) + ": cancelled by CancelToken at level " +
+            std::to_string(level_reached) + " (" +
+            std::to_string(vertices_settled) + " vertices settled)",
+        level_reached, vertices_settled, /*cancelled=*/true);
 }
 
 /// Shared per-level accumulation slot. Workers fetch_add their local

@@ -86,7 +86,9 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
     struct Shared {
         std::atomic<std::uint64_t> active{0};
         bool done = false;
+        bool cancelled = false;  // written by tid 0 between barriers
         std::uint32_t levels = 0;
+        std::atomic<std::uint64_t> settled{0};
     } shared;
 
     const bool collect =
@@ -198,7 +200,13 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                     shared.active.load(std::memory_order_relaxed);
                 shared.done = active == 0;
                 shared.active.store(0, std::memory_order_relaxed);
+                shared.settled.fetch_add(active, std::memory_order_relaxed);
                 ++shared.levels;
+                if (!shared.done && options.cancel != nullptr &&
+                    options.cancel->poll()) {
+                    shared.cancelled = true;
+                    shared.done = true;
+                }
                 if (!shared.done) {
                     detail::acquire_level_slot(stats, level + 1).frontier_size =
                         active;
@@ -211,6 +219,10 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
         }
     }, &barrier);
 
+    if (shared.cancelled)
+        detail::throw_cancelled(
+            "multi_source_bfs", shared.levels,
+            shared.settled.load(std::memory_order_relaxed));
     if (collect)
         detail::copy_level_stats(*options.level_stats, stats, shared.levels);
     return shared.levels;

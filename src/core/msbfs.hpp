@@ -54,6 +54,14 @@ struct MsBfsOptions {
     /// Where collect_stats writes its per-level counters (cleared and
     /// refilled on each call). Ignored when null or !collect_stats.
     std::vector<BfsLevelStats>* level_stats = nullptr;
+
+    /// Optional cooperative cancellation (not owned; must outlive the
+    /// call). Thread 0 polls once per level; a fired token ends the wave
+    /// at the next level barrier and multi_source_bfs throws
+    /// BfsDeadlineError with cancelled() == true. All lanes stop
+    /// together — the service maps a cancelled wave back onto its member
+    /// requests (expired members are cancelled, the rest retried).
+    CancelToken* cancel = nullptr;
 };
 
 /// Bit-parallel multi-source BFS (the MS-BFS technique of Then et al.,

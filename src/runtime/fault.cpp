@@ -13,7 +13,8 @@ namespace sge::fault {
 namespace {
 
 constexpr const char* kSiteNames[kSiteCount] = {
-    "alloc", "pin", "channel_push", "channel_pop", "barrier",
+    "alloc",          "pin",           "channel_push",   "channel_pop",
+    "barrier",        "service_submit", "service_flush", "service_worker",
 };
 
 }  // namespace
@@ -34,8 +35,10 @@ namespace {
 constexpr std::uint64_t kDefaultSeed = 42;
 
 constexpr const char* kSiteEnvNames[kSiteCount] = {
-    "SGE_FAULT_ALLOC",       "SGE_FAULT_PIN", "SGE_FAULT_CHANNEL_PUSH",
-    "SGE_FAULT_CHANNEL_POP", "SGE_FAULT_BARRIER",
+    "SGE_FAULT_ALLOC",          "SGE_FAULT_PIN",
+    "SGE_FAULT_CHANNEL_PUSH",   "SGE_FAULT_CHANNEL_POP",
+    "SGE_FAULT_BARRIER",        "SGE_FAULT_SERVICE_SUBMIT",
+    "SGE_FAULT_SERVICE_FLUSH",  "SGE_FAULT_SERVICE_WORKER",
 };
 
 /// Parses "p=<double>" or "nth=<u64>". Returns nullopt on garbage —

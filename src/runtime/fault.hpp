@@ -19,7 +19,8 @@
 //   SGE_FAULT_ALLOC=p=0.001          fire with probability per hit, or
 //   SGE_FAULT_BARRIER=nth=17         fire exactly once, on the 17th hit
 //   (likewise SGE_FAULT_PIN, SGE_FAULT_CHANNEL_PUSH,
-//    SGE_FAULT_CHANNEL_POP)
+//    SGE_FAULT_CHANNEL_POP, SGE_FAULT_SERVICE_SUBMIT,
+//    SGE_FAULT_SERVICE_FLUSH, SGE_FAULT_SERVICE_WORKER)
 //
 // Building with -DSGE_FAULT_INJECTION=OFF removes the sites entirely:
 // should_fire() becomes a constexpr `false` and every call compiles
@@ -34,6 +35,9 @@ enum class Site : unsigned {
     kChannelPush,   ///< Channel::push_batch -> forced ring-full spill
     kChannelPop,    ///< Channel::pop_batch -> drain throttled to 1 item
     kBarrier,       ///< SpinBarrier::arrive_and_wait -> FaultInjected
+    kServiceSubmit, ///< GraphService::submit admission path -> FaultInjected
+    kServiceFlush,  ///< service batcher flush (wave assembly) -> FaultInjected
+    kServiceWorker, ///< service worker dispatch loop -> FaultInjected
     kSiteCount,
 };
 

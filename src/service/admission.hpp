@@ -1,0 +1,131 @@
+#pragma once
+
+// Bounded admission queue with batching pops — the backpressure and
+// coalescing substrate of GraphService.
+//
+// Producers (submit) never block: try_push() returns false when the
+// queue is at capacity or closed, and the service sheds the request
+// with an explicit Outcome::kShed instead of queueing unboundedly —
+// under overload the caller learns immediately, latency stays bounded,
+// and memory stays flat.
+//
+// Consumers (workers) pop in *batches*: pop_batch() blocks for the
+// first request, then keeps gathering until either `max` requests are
+// in hand or a flush window has elapsed — the buffer-then-flush-on-
+// capacity-or-deadline idiom of Grappa's RDMAAggregator, which is what
+// lets concurrent single-source queries coalesce into one MS-BFS wave.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/request.hpp"
+
+namespace sge::service {
+
+class AdmissionQueue {
+  public:
+    using Item = std::shared_ptr<PendingQuery>;
+
+    explicit AdmissionQueue(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity) {}
+
+    AdmissionQueue(const AdmissionQueue&) = delete;
+    AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+    /// Non-blocking admission. False when the queue is full or closed —
+    /// the caller sheds the request.
+    [[nodiscard]] bool try_push(Item item) {
+        {
+            std::lock_guard guard(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /// Blocks until at least one request is available (or the queue is
+    /// closed and empty — returns 0, the worker-exit signal). Then
+    /// gathers into `out` until `max` requests are in hand or `window`
+    /// has elapsed since the first one. A closed queue flushes what is
+    /// left immediately (shutdown drains promptly).
+    ///
+    /// `in_flight`, when given, is incremented while the queue lock is
+    /// still held whenever the pop takes at least one item — so a
+    /// shutdown drain observing "queue empty and in_flight == 0" can
+    /// never miss a batch in the window between removal and processing.
+    /// The worker decrements it after resolving the batch.
+    std::size_t pop_batch(std::vector<Item>& out, std::size_t max,
+                          std::chrono::nanoseconds window,
+                          std::atomic<int>* in_flight = nullptr) {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return 0;  // closed and drained
+
+        const auto flush_at = PendingQuery::clock::now() + window;
+        std::size_t taken = 0;
+        for (;;) {
+            while (!items_.empty() && taken < max) {
+                out.push_back(std::move(items_.front()));
+                items_.pop_front();
+                ++taken;
+            }
+            if (taken >= max || closed_ || window.count() <= 0) break;
+            if (!cv_.wait_until(lock, flush_at, [&] {
+                    return closed_ || !items_.empty();
+                }))
+                break;  // window elapsed: flush what we have
+        }
+        if (taken > 0 && in_flight != nullptr)
+            in_flight->fetch_add(1, std::memory_order_acq_rel);
+        return taken;
+    }
+
+    /// Non-blocking sweep of everything still queued (the shutdown
+    /// drain's last pass, after the workers have exited).
+    std::size_t drain(std::vector<Item>& out) {
+        std::lock_guard guard(mutex_);
+        const std::size_t taken = items_.size();
+        for (Item& item : items_) out.push_back(std::move(item));
+        items_.clear();
+        return taken;
+    }
+
+    /// Closes admission: try_push() fails from now on, blocked
+    /// pop_batch() calls wake, and workers exit once the backlog is
+    /// drained. Idempotent.
+    void close() {
+        {
+            std::lock_guard guard(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard guard(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard guard(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Item> items_;
+    bool closed_ = false;
+};
+
+}  // namespace sge::service

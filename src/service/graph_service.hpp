@@ -1,0 +1,183 @@
+#pragma once
+
+// GraphService — a long-lived, fault-tolerant concurrent BFS query
+// service over one CsrGraph (the ROADMAP's "service that survives
+// heavy traffic" north star; see docs/ROBUSTNESS.md "Service
+// guarantees").
+//
+// Shape: submit() is non-blocking and pushes into a bounded
+// AdmissionQueue (full queue => the request is shed with an explicit
+// Outcome::kShed — backpressure, never unbounded buffering). Worker
+// threads — each owning a BfsRunner with its pinned ThreadTeam and
+// prepared BfsWorkspace — pop requests in batches and either run them
+// individually or coalesce concurrent single-source queries into one
+// bit-parallel MS-BFS wave (flush on 64 distinct roots or a batch
+// window, Grappa's buffer-then-flush idiom).
+//
+// Robustness ladder, in order:
+//   * per-request deadlines ride a CancelToken polled at every level
+//     barrier (superseding the global watchdog for service runs): a
+//     late query stops within one level and resolves kCancelled, and
+//     the workspace is immediately reusable;
+//   * a parallel run that throws (injected fault, allocation failure,
+//     watchdog) is retried once on the serial engine => kDegraded with
+//     a still-correct answer;
+//   * a worker whose dispatch loop faults degrades its current batch,
+//     then rebuilds its runner (team + workspace); if the rebuild
+//     fails too, the worker falls back to serial-only — the pool
+//     shrinks, the service never dies;
+//   * stop() drains in-flight queries within a bounded deadline, then
+//     cancels stragglers — every future resolves.
+//
+// Every outcome ticks ServiceCounters (sge::obs-style: always-on
+// monotonic atomics, the RuntimeWarnings pattern), which is how tests,
+// the chaos soak, and bench/bench_service.cpp observe shedding,
+// degradation and wave coalescing.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "graph/csr_graph.hpp"
+#include "service/admission.hpp"
+#include "service/request.hpp"
+
+namespace sge::service {
+
+struct ServiceOptions {
+    /// Engine configuration for the parallel attempts (engine, threads,
+    /// topology, schedule...). `cancel` and `watchdog_seconds` are
+    /// overridden per worker: the service's deadline mechanism is the
+    /// CancelToken, not the global watchdog.
+    BfsOptions bfs;
+
+    /// Dispatcher threads, each owning an independent BfsRunner (team +
+    /// workspace). More workers = more concurrent waves in flight.
+    int workers = 1;
+
+    /// Admission queue capacity; a full queue sheds (Outcome::kShed).
+    std::size_t queue_capacity = 256;
+
+    /// Coalescing: batch up to this many distinct roots into one MS-BFS
+    /// wave (clamped to 64, the lane width) ...
+    std::size_t batch_max_roots = 64;
+
+    /// ... flushing early once this window has elapsed since the first
+    /// request of the batch (0 = no waiting: whatever is queued right
+    /// now forms the batch).
+    double batch_window_seconds = 0.0005;
+
+    /// Deadline applied to requests that do not carry their own
+    /// (QueryRequest::deadline_seconds <= 0). 0 = no default deadline.
+    double default_deadline_seconds = 0.0;
+
+    /// Disable wave coalescing (every request runs individually) —
+    /// the A/B switch bench_service measures.
+    bool batching = true;
+
+    /// stop() waits this long for in-flight + queued work to drain
+    /// before hard-cancelling the stragglers.
+    double drain_seconds = 5.0;
+};
+
+/// Always-on monotonic counters (the RuntimeWarnings pattern): one
+/// instance per service, ticked on every resolution. completed +
+/// degraded + cancelled + shed + failed == submitted once the service
+/// is stopped — the zero-lost-requests invariant, assertable by tests.
+struct ServiceCounters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> failed{0};
+    /// Requests answered from a coalesced MS-BFS wave (subset of
+    /// completed), waves run, and total distinct roots across waves —
+    /// wave_roots / waves is the coalescing factor.
+    std::atomic<std::uint64_t> batched{0};
+    std::atomic<std::uint64_t> waves{0};
+    std::atomic<std::uint64_t> wave_roots{0};
+    /// Worker dispatch loops that faulted and rebuilt their runner, and
+    /// workers that could not rebuild and fell back to serial-only.
+    std::atomic<std::uint64_t> worker_restarts{0};
+    std::atomic<std::uint64_t> serial_fallbacks{0};
+
+    [[nodiscard]] std::uint64_t resolved() const noexcept {
+        return completed.load() + degraded.load() + cancelled.load() +
+               shed.load() + failed.load();
+    }
+};
+
+class GraphService {
+  public:
+    /// Starts the worker pool immediately. The graph must outlive the
+    /// service.
+    explicit GraphService(const CsrGraph& g, ServiceOptions options = {});
+
+    /// Equivalent to stop().
+    ~GraphService();
+
+    GraphService(const GraphService&) = delete;
+    GraphService& operator=(const GraphService&) = delete;
+
+    /// Non-blocking submission. The returned future ALWAYS resolves
+    /// (kShed immediately when not admitted). Throws std::out_of_range
+    /// for a root outside the graph — a caller bug, not a service
+    /// outcome. `deadline_seconds` <= 0 selects the service default.
+    SubmitResult submit(vertex_t root, double deadline_seconds = 0.0);
+    SubmitResult submit(const QueryRequest& request);
+
+    /// Drains and joins: closes admission, waits up to
+    /// ServiceOptions::drain_seconds for queued + in-flight work, then
+    /// cancels stragglers and resolves anything left as kCancelled.
+    /// Idempotent; submit() after stop() sheds.
+    void stop();
+
+    [[nodiscard]] const ServiceCounters& counters() const noexcept {
+        return counters_;
+    }
+
+    /// Current admission backlog.
+    [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+    /// Workers still running their full parallel runner (not serial
+    /// fallback). Starts at ServiceOptions::workers.
+    [[nodiscard]] int healthy_workers() const noexcept {
+        return healthy_workers_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] const ServiceOptions& options() const noexcept {
+        return options_;
+    }
+
+  private:
+    struct Worker;
+
+    void worker_loop(Worker& w);
+    void process_batch(Worker& w, std::vector<AdmissionQueue::Item>& batch);
+    void run_wave(Worker& w, std::vector<AdmissionQueue::Item>& batch);
+    void run_single(Worker& w, const AdmissionQueue::Item& item);
+    void run_degraded(Worker& w, const AdmissionQueue::Item& item);
+    void resolve(const AdmissionQueue::Item& item, QueryResult result);
+    void rebuild_runner(Worker& w);
+
+    const CsrGraph& graph_;
+    ServiceOptions options_;
+    AdmissionQueue queue_;
+    ServiceCounters counters_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<int> healthy_workers_{0};
+    /// Batches popped but not yet fully resolved (see
+    /// AdmissionQueue::pop_batch's in_flight contract).
+    std::atomic<int> in_flight_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> hard_cancel_{false};
+    std::atomic<bool> stopped_{false};
+};
+
+}  // namespace sge::service

@@ -17,6 +17,7 @@
 
 // concurrency
 #include "concurrency/atomic_bitmap.hpp"
+#include "concurrency/cancel_token.hpp"
 #include "concurrency/channel.hpp"
 #include "concurrency/spin_barrier.hpp"
 #include "concurrency/spsc_ring.hpp"
@@ -48,6 +49,11 @@
 #include "core/bfs.hpp"
 #include "core/msbfs.hpp"
 #include "core/validate.hpp"
+
+// query service (admission control, deadlines, MS-BFS batching)
+#include "service/admission.hpp"
+#include "service/graph_service.hpp"
+#include "service/request.hpp"
 
 // distributed-memory-style and streaming extensions
 #include "dist/dist_bfs.hpp"

@@ -1,0 +1,524 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "concurrency/cancel_token.hpp"
+#include "core/bfs.hpp"
+#include "core/msbfs.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/prng.hpp"
+#include "service/admission.hpp"
+#include "service/graph_service.hpp"
+#include "test_util.hpp"
+
+namespace sge {
+namespace {
+
+using fault::Site;
+using fault::Trigger;
+using service::AdmissionQueue;
+using service::GraphService;
+using service::Outcome;
+using service::PendingQuery;
+using service::QueryResult;
+using service::ServiceOptions;
+using service::SubmitResult;
+using test::path_graph;
+
+CsrGraph rmat_test_graph(std::uint32_t scale, std::uint64_t edges,
+                         std::uint64_t seed) {
+    RmatParams params;
+    params.scale = scale;
+    params.num_edges = edges;
+    params.seed = seed;
+    return csr_from_edges(generate_rmat(params));
+}
+
+std::vector<level_t> serial_levels(const CsrGraph& g, vertex_t root) {
+    BfsOptions options;
+    options.engine = BfsEngine::kSerial;
+    options.threads = 1;
+    options.compute_levels = true;
+    return bfs(g, root, options).level;
+}
+
+BfsOptions parallel_options(BfsEngine engine) {
+    BfsOptions options;
+    options.engine = engine;
+    options.threads = 4;
+    options.topology = Topology::emulate(2, 2, 1);
+    options.compute_levels = true;
+    return options;
+}
+
+// ---------------------------------------------------------------------
+// CancelToken primitive.
+// ---------------------------------------------------------------------
+
+TEST(CancelTokenTest, ManualCancelIsStickyAndResettable) {
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(token.poll());
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(token.poll());
+    EXPECT_TRUE(token.poll());  // sticky
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(token.poll());
+}
+
+TEST(CancelTokenTest, FiresOnNthPoll) {
+    CancelToken token;
+    token.fire_after_polls(3);
+    EXPECT_FALSE(token.poll());
+    EXPECT_FALSE(token.poll());
+    EXPECT_TRUE(token.poll());  // third poll fires
+    EXPECT_TRUE(token.cancelled());
+    token.reset();
+    token.fire_after_polls(0);  // disarmed
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(token.poll());
+}
+
+TEST(CancelTokenTest, DeadlineFiresOnPoll) {
+    CancelToken token;
+    token.set_deadline_after(-1.0);  // already-spent budget
+    EXPECT_TRUE(token.cancelled());
+
+    token.reset();
+    token.set_deadline_after(0.005);
+    EXPECT_FALSE(token.poll());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(token.deadline_passed());
+    EXPECT_TRUE(token.poll());
+}
+
+// ---------------------------------------------------------------------
+// Engine-level cancellation: a fired token stops every engine at the
+// next level barrier with the partial progress reported, and the
+// runner (team + workspace) answers the next query correctly.
+// ---------------------------------------------------------------------
+
+class EngineCancelTest : public ::testing::Test {
+  protected:
+    void SetUp() override { fault::disarm_all(); }
+    void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(EngineCancelTest, SerialStopsAtRequestedLevel) {
+    const CsrGraph g = path_graph(512);
+    CancelToken token;
+    token.fire_after_polls(5);  // engines poll once per level
+
+    BfsOptions options;
+    options.engine = BfsEngine::kSerial;
+    options.threads = 1;
+    options.cancel = &token;
+    try {
+        bfs(g, 0, options);
+        FAIL() << "expected BfsDeadlineError";
+    } catch (const BfsDeadlineError& e) {
+        EXPECT_TRUE(e.cancelled());
+        EXPECT_EQ(e.level_reached(), 5u);
+        EXPECT_GT(e.vertices_settled(), 0u);
+        EXPECT_LT(e.vertices_settled(), 512u);
+    }
+
+    token.reset();  // same token, next run completes
+    const BfsResult full = bfs(g, 0, options);
+    EXPECT_EQ(full.vertices_visited, 512u);
+}
+
+TEST_F(EngineCancelTest, ParallelEnginesStopMidTraversalAndRunnerIsReusable) {
+    const CsrGraph g = path_graph(512);  // 512 levels: plenty to cancel in
+    const std::vector<level_t> expected = serial_levels(g, 0);
+
+    for (const BfsEngine engine :
+         {BfsEngine::kNaive, BfsEngine::kBitmap, BfsEngine::kMultiSocket,
+          BfsEngine::kHybrid}) {
+        CancelToken token;
+        BfsOptions options = parallel_options(engine);
+        options.cancel = &token;
+        BfsRunner runner(options);
+
+        token.fire_after_polls(7);
+        try {
+            runner.run(g, 0);
+            FAIL() << "expected BfsDeadlineError for " << to_string(engine);
+        } catch (const BfsDeadlineError& e) {
+            EXPECT_TRUE(e.cancelled()) << to_string(engine);
+            EXPECT_EQ(e.level_reached(), 7u) << to_string(engine);
+            EXPECT_GT(e.vertices_settled(), 0u) << to_string(engine);
+            EXPECT_LT(e.vertices_settled(), 512u) << to_string(engine);
+        }
+
+        // Cancellation never poisons the barrier or the arena: the SAME
+        // runner (team + workspace) must answer the next query exactly.
+        token.reset();
+        const BfsResult again = runner.run(g, 0);
+        EXPECT_EQ(again.vertices_visited, 512u) << to_string(engine);
+        ASSERT_EQ(again.level.size(), expected.size()) << to_string(engine);
+        EXPECT_EQ(again.level, expected) << to_string(engine);
+    }
+}
+
+TEST_F(EngineCancelTest, MsBfsWaveStopsAllLanesTogether) {
+    const CsrGraph g = path_graph(512);
+    const std::vector<vertex_t> sources = {0, 100, 200};
+
+    CancelToken token;
+    token.fire_after_polls(4);
+    MsBfsOptions options;
+    options.threads = 2;
+    options.cancel = &token;
+
+    std::atomic<std::uint64_t> discoveries{0};
+    const auto count = [&discoveries](int, level_t, vertex_t, std::uint64_t) {
+        discoveries.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    try {
+        multi_source_bfs(g, sources, count, options);
+        FAIL() << "expected BfsDeadlineError";
+    } catch (const BfsDeadlineError& e) {
+        EXPECT_TRUE(e.cancelled());
+        EXPECT_EQ(e.level_reached(), 4u);
+    }
+    const std::uint64_t partial = discoveries.load();
+    EXPECT_GT(partial, 0u);
+
+    token.reset();  // the wave machinery is reusable after cancellation
+    const std::uint32_t levels = multi_source_bfs(g, sources, count, options);
+    EXPECT_GT(levels, 0u);
+    EXPECT_GT(discoveries.load(), partial);
+}
+
+// ---------------------------------------------------------------------
+// AdmissionQueue: bounded, non-blocking push, batch pop, clean close.
+// ---------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, ShedsAtCapacityAndAfterClose) {
+    AdmissionQueue queue(2);
+    EXPECT_EQ(queue.capacity(), 2u);
+    EXPECT_TRUE(queue.try_push(std::make_shared<PendingQuery>()));
+    EXPECT_TRUE(queue.try_push(std::make_shared<PendingQuery>()));
+    EXPECT_FALSE(queue.try_push(std::make_shared<PendingQuery>()));  // full
+    EXPECT_EQ(queue.size(), 2u);
+
+    std::vector<AdmissionQueue::Item> batch;
+    EXPECT_EQ(queue.pop_batch(batch, 64, std::chrono::nanoseconds{0}), 2u);
+    EXPECT_TRUE(queue.try_push(std::make_shared<PendingQuery>()));  // room again
+
+    queue.close();
+    EXPECT_FALSE(queue.try_push(std::make_shared<PendingQuery>()));  // closed
+    batch.clear();
+    EXPECT_EQ(queue.pop_batch(batch, 64, std::chrono::seconds{1}), 1u);
+    EXPECT_EQ(queue.pop_batch(batch, 64, std::chrono::seconds{1}), 0u);  // drained
+}
+
+TEST(AdmissionQueueTest, PopBatchFlagsInFlightUnderTheLock) {
+    AdmissionQueue queue(8);
+    std::atomic<int> in_flight{0};
+    EXPECT_TRUE(queue.try_push(std::make_shared<PendingQuery>()));
+    std::vector<AdmissionQueue::Item> batch;
+    EXPECT_EQ(queue.pop_batch(batch, 64, std::chrono::nanoseconds{0}, &in_flight),
+              1u);
+    EXPECT_EQ(in_flight.load(), 1);  // caller decrements after resolving
+}
+
+// ---------------------------------------------------------------------
+// GraphService end to end.
+// ---------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        fault::disarm_all();
+        graph_ = rmat_test_graph(11, 8192, 5);
+    }
+    void TearDown() override { fault::disarm_all(); }
+
+    ServiceOptions base_options() const {
+        ServiceOptions options;
+        options.bfs = parallel_options(BfsEngine::kBitmap);
+        options.workers = 1;
+        options.queue_capacity = 256;
+        return options;
+    }
+
+    CsrGraph graph_;
+};
+
+TEST_F(ServiceTest, AnswersMatchTheSerialReference) {
+    ServiceOptions options = base_options();
+    options.batching = false;
+    GraphService svc(graph_, options);
+
+    for (const vertex_t root : {vertex_t{0}, vertex_t{7}, vertex_t{100}}) {
+        SubmitResult s = svc.submit(root);
+        ASSERT_TRUE(s.admitted);
+        const QueryResult r = s.result.get();
+        EXPECT_EQ(r.outcome, Outcome::kCompleted);
+        EXPECT_FALSE(r.batched);
+        EXPECT_EQ(r.root, root);
+        EXPECT_EQ(r.level, serial_levels(graph_, root));
+    }
+    svc.stop();
+    EXPECT_EQ(svc.counters().resolved(), svc.counters().submitted.load());
+}
+
+TEST_F(ServiceTest, ConcurrentRequestsCoalesceIntoOneWaveBitIdentically) {
+    constexpr int kRequests = 40;
+    ServiceOptions options = base_options();
+    options.batching = true;
+    options.batch_max_roots = 64;
+    options.batch_window_seconds = 0.5;  // generous: one wave catches all
+    GraphService svc(graph_, options);
+
+    std::vector<std::future<QueryResult>> futures;
+    std::vector<vertex_t> roots;
+    for (int i = 0; i < kRequests; ++i) {
+        const auto root = static_cast<vertex_t>(i * 97 % graph_.num_vertices());
+        roots.push_back(root);
+        SubmitResult s = svc.submit(root);
+        ASSERT_TRUE(s.admitted);
+        futures.push_back(std::move(s.result));
+    }
+
+    for (int i = 0; i < kRequests; ++i) {
+        const QueryResult r = futures[static_cast<std::size_t>(i)].get();
+        EXPECT_EQ(r.outcome, Outcome::kCompleted) << "request " << i;
+        EXPECT_TRUE(r.batched) << "request " << i;
+        // Bit-identical to a per-request run: BFS hop distances are
+        // unique for (graph, root), so the wave answer must equal the
+        // serial answer exactly.
+        EXPECT_EQ(r.level, serial_levels(graph_, roots[static_cast<std::size_t>(i)]))
+            << "request " << i;
+    }
+    svc.stop();
+
+    const auto& c = svc.counters();
+    EXPECT_GE(c.waves.load(), 1u);
+    EXPECT_GE(c.batched.load(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_GE(c.wave_roots.load(), 32u);  // distinct roots ridden in waves
+    EXPECT_EQ(c.resolved(), c.submitted.load());
+}
+
+TEST_F(ServiceTest, DuplicateRootsShareOneLane) {
+    ServiceOptions options = base_options();
+    options.batch_window_seconds = 0.5;
+    GraphService svc(graph_, options);
+
+    std::vector<std::future<QueryResult>> futures;
+    for (int i = 0; i < 8; ++i) futures.push_back(svc.submit(3).result);
+    futures.push_back(svc.submit(9).result);
+
+    const std::vector<level_t> expected = serial_levels(graph_, 3);
+    for (std::size_t i = 0; i < 8; ++i) {
+        const QueryResult r = futures[i].get();
+        EXPECT_EQ(r.outcome, Outcome::kCompleted);
+        EXPECT_EQ(r.level, expected);
+    }
+    EXPECT_EQ(futures[8].get().level, serial_levels(graph_, 9));
+    svc.stop();
+    // 9 requests, but at most 2 distinct roots ever entered a wave.
+    EXPECT_LE(svc.counters().wave_roots.load(), 2u);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineResolvesCancelled) {
+    GraphService svc(graph_, base_options());
+    // A microsecond budget is spent before any worker can dispatch: the
+    // request must resolve kCancelled — never hang, never burn a run.
+    SubmitResult s = svc.submit(0, /*deadline_seconds=*/1e-6);
+    ASSERT_TRUE(s.admitted);
+    const QueryResult r = s.result.get();
+    EXPECT_EQ(r.outcome, Outcome::kCancelled);
+    EXPECT_FALSE(r.answered());
+    EXPECT_TRUE(r.level.empty());
+    svc.stop();
+    EXPECT_EQ(svc.counters().cancelled.load(), 1u);
+}
+
+TEST_F(ServiceTest, StopDrainsAndSubmitAfterStopSheds) {
+    ServiceOptions options = base_options();
+    options.batch_window_seconds = 0.0;
+    GraphService svc(graph_, options);
+
+    std::vector<std::future<QueryResult>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(
+            svc.submit(static_cast<vertex_t>(i % graph_.num_vertices())).result);
+    svc.stop();  // drain: every already-submitted future must resolve
+
+    for (auto& f : futures) {
+        const QueryResult r = f.get();
+        EXPECT_TRUE(r.outcome == Outcome::kCompleted ||
+                    r.outcome == Outcome::kDegraded ||
+                    r.outcome == Outcome::kCancelled ||
+                    r.outcome == Outcome::kShed)
+            << to_string(r.outcome);
+    }
+
+    SubmitResult late = svc.submit(0);
+    EXPECT_FALSE(late.admitted);
+    EXPECT_EQ(late.result.get().outcome, Outcome::kShed);
+
+    const auto& c = svc.counters();
+    EXPECT_EQ(c.submitted.load(), 101u);
+    EXPECT_EQ(c.resolved(), 101u);  // zero lost requests
+}
+
+TEST_F(ServiceTest, SubmitRejectsOutOfRangeRoot) {
+    GraphService svc(graph_, base_options());
+    EXPECT_THROW(svc.submit(graph_.num_vertices()), std::out_of_range);
+    svc.stop();
+}
+
+// ---------------------------------------------------------------------
+// Fault sites: injected failures degrade, never lose requests.
+// ---------------------------------------------------------------------
+
+class ServiceFaultTest : public ServiceTest {
+  protected:
+    void SetUp() override {
+        ServiceTest::SetUp();
+        if (!fault::compiled_in())
+            GTEST_SKIP() << "built with SGE_FAULT_INJECTION=OFF";
+    }
+};
+
+TEST_F(ServiceFaultTest, SubmitFaultShedsInsteadOfThrowing) {
+    GraphService svc(graph_, base_options());
+    fault::arm(Site::kServiceSubmit, Trigger{.probability = 0.0, .nth = 1});
+
+    SubmitResult s = svc.submit(0);
+    EXPECT_FALSE(s.admitted);
+    EXPECT_EQ(s.result.get().outcome, Outcome::kShed);
+    fault::disarm_all();
+
+    SubmitResult ok = svc.submit(0);  // site disarmed: service is fine
+    ASSERT_TRUE(ok.admitted);
+    EXPECT_EQ(ok.result.get().outcome, Outcome::kCompleted);
+    svc.stop();
+    EXPECT_EQ(svc.counters().shed.load(), 1u);
+}
+
+TEST_F(ServiceFaultTest, WorkerFaultDegradesBatchThenRecovers) {
+    ServiceOptions options = base_options();
+    options.batch_window_seconds = 0.0;
+    GraphService svc(graph_, options);
+
+    // First dispatched batch faults: its requests must still be
+    // answered (serial retry => kDegraded, correct BFS), the worker
+    // rebuilds its runner, and the next request completes normally.
+    fault::arm(Site::kServiceWorker, Trigger{.probability = 0.0, .nth = 1});
+    SubmitResult s = svc.submit(11);
+    ASSERT_TRUE(s.admitted);
+    const QueryResult r = s.result.get();
+    EXPECT_EQ(r.outcome, Outcome::kDegraded);
+    EXPECT_EQ(r.level, serial_levels(graph_, 11));
+    fault::disarm_all();
+
+    const QueryResult after = svc.submit(11).result.get();
+    EXPECT_EQ(after.outcome, Outcome::kCompleted);
+    EXPECT_EQ(after.level, serial_levels(graph_, 11));
+    svc.stop();
+
+    const auto& c = svc.counters();
+    EXPECT_EQ(c.degraded.load(), 1u);
+    EXPECT_GE(c.worker_restarts.load(), 1u);
+    EXPECT_EQ(svc.healthy_workers(), 1);
+}
+
+TEST_F(ServiceFaultTest, FlushFaultFallsBackToPerRequestDispatch) {
+    ServiceOptions options = base_options();
+    options.batch_window_seconds = 0.5;
+    GraphService svc(graph_, options);
+    fault::arm(Site::kServiceFlush, Trigger{.probability = 1.0, .nth = 0});
+
+    std::vector<std::future<QueryResult>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(svc.submit(static_cast<vertex_t>(i)).result);
+    for (int i = 0; i < 8; ++i) {
+        const QueryResult r = futures[static_cast<std::size_t>(i)].get();
+        EXPECT_TRUE(r.answered()) << "request " << i;
+        EXPECT_EQ(r.level, serial_levels(graph_, static_cast<vertex_t>(i)));
+    }
+    fault::disarm_all();
+    svc.stop();
+    EXPECT_EQ(svc.counters().waves.load(), 0u);  // every wave assembly failed
+}
+
+// ---------------------------------------------------------------------
+// Chaos soak: a 1k-request stream under probabilistic faults at every
+// service site. The invariants: no hang (every future resolves), no
+// lost request (resolved == submitted), and every answered result is a
+// correct BFS.
+// ---------------------------------------------------------------------
+
+TEST_F(ServiceFaultTest, ChaosSoakLosesNothingAndAnswersCorrectly) {
+    constexpr int kRequests = 1000;
+
+    // Honour CI-provided SGE_FAULT_* arming; fill in defaults for any
+    // service site left unarmed so the soak always has chaos to survive.
+    fault::load_from_env();
+    for (const Site site :
+         {Site::kServiceSubmit, Site::kServiceFlush, Site::kServiceWorker}) {
+        if (!fault::armed_trigger(site))
+            fault::arm(site, Trigger{.probability = 1e-3, .nth = 0});
+    }
+
+    ServiceOptions options = base_options();
+    options.workers = 2;
+    options.queue_capacity = 512;
+    options.batch_window_seconds = 0.001;
+    GraphService svc(graph_, options);
+
+    // Eight fixed roots with precomputed reference answers: every
+    // answered result is checked for exact correctness.
+    std::vector<vertex_t> roots;
+    std::vector<std::vector<level_t>> expected;
+    for (vertex_t r = 0; r < 8; ++r) {
+        roots.push_back(r * 31 % graph_.num_vertices());
+        expected.push_back(serial_levels(graph_, roots.back()));
+    }
+
+    SplitMix64 rng(2026);
+    std::vector<std::pair<std::size_t, std::future<QueryResult>>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+        const std::size_t which = rng.next() % roots.size();
+        // A sprinkle of hopeless deadlines exercises the cancellation
+        // path; the rest are unbounded.
+        const double deadline = (rng.next() % 100 == 0) ? 1e-7 : 0.0;
+        futures.emplace_back(which,
+                             svc.submit(roots[which], deadline).result);
+    }
+
+    std::uint64_t answered = 0;
+    for (auto& [which, future] : futures) {
+        const QueryResult r = future.get();  // must resolve: no hangs
+        if (r.answered()) {
+            ++answered;
+            EXPECT_EQ(r.level, expected[which]);
+        }
+    }
+    svc.stop();
+    fault::disarm_all();
+
+    const auto& c = svc.counters();
+    EXPECT_EQ(c.submitted.load(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(c.resolved(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(c.failed.load(), 0u);  // the serial ladder rung never breaks
+    EXPECT_GT(answered, 0u);
+}
+
+}  // namespace
+}  // namespace sge
