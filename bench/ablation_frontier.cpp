@@ -1,0 +1,280 @@
+// Ablation bench: frontier generation (BfsOptions::frontier_gen).
+//
+// The experiment behind docs/PERF_MODEL.md "Frontier generation": on an
+// emulated 2-socket machine, sweep atomic / compact over the parallel
+// engines on the paper's uniform and R-MAT workloads, and report
+//
+//   * the processing rate (the paper's metric),
+//   * the compaction counters: prefix_sum_ns (copy-out wall time),
+//     compact_writes (must sum to visited-1), simd_words_scanned,
+//   * a correctness gate: both modes must produce identical level
+//     arrays on every cell (the bench exits non-zero otherwise).
+//
+// A deterministic micro-measurement section prices the two designs'
+// primitives — per-element fetch_add cost, per-element copy cost, and
+// the barrier round-trip the compact path adds — and prints the modeled
+// crossover frontier size quoted in docs/PERF_MODEL.md.
+//
+// With SGE_BENCH_JSON set the same cells land in
+// BENCH_ablation_frontier.json (frontier_gen encoded 0=atomic,
+// 1=compact); CI feeds that to check_bench_json.py --compare to keep
+// compact from regressing against atomic.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "concurrency/spin_barrier.hpp"
+#include "report.hpp"
+#include "runtime/simd_scan.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+using namespace sge;
+using namespace sge::bench;
+
+constexpr int kThreads = 8;
+constexpr int kRuns = 3;
+
+constexpr FrontierGen kModes[] = {FrontierGen::kAtomic, FrontierGen::kCompact};
+
+int gen_code(FrontierGen gen) { return gen == FrontierGen::kCompact ? 1 : 0; }
+
+struct Cell {
+    double rate = 0.0;        // best edges/second over timed runs
+    double prefix_ns = 0.0;   // summed prefix_sum_ns, from the best run
+    double writes = 0.0;      // summed compact_writes
+    double simd_words = 0.0;  // summed simd_words_scanned
+    double barrier_ns = 0.0;  // summed barrier_wait_ns
+    std::vector<level_t> levels;  // for the cross-mode identity gate
+};
+
+Cell measure(const CsrGraph& g, BfsEngine engine, FrontierGen gen,
+             const Topology& topo) {
+    BfsOptions options;
+    options.engine = engine;
+    options.threads = kThreads;
+    options.topology = topo;
+    options.frontier_gen = gen;
+    options.collect_stats = obs::enabled();
+    BfsRunner runner(options);
+
+    // Fixed root: the identity gate compares level arrays across modes,
+    // so every cell must traverse from the same source.
+    vertex_t root = 0;
+    while (root + 1 < g.num_vertices() && g.degree(root) == 0) ++root;
+
+    (void)runner.run(g, root);  // warmup: page in the arrays
+    Cell cell;
+    for (int i = 0; i < kRuns; ++i) {
+        const BfsResult r = runner.run(g, root);
+        if (r.edges_per_second() > cell.rate) {
+            cell.rate = r.edges_per_second();
+            double prefix = 0.0;
+            double writes = 0.0;
+            double simd = 0.0;
+            double barrier = 0.0;
+            for (const BfsLevelStats& s : r.level_stats) {
+                prefix += static_cast<double>(s.prefix_sum_ns);
+                writes += static_cast<double>(s.compact_writes);
+                simd += static_cast<double>(s.simd_words_scanned);
+                barrier += static_cast<double>(s.barrier_wait_ns);
+            }
+            cell.prefix_ns = prefix;
+            cell.writes = writes;
+            cell.simd_words = simd;
+            cell.barrier_ns = barrier;
+        }
+        if (i == 0) cell.levels = r.level;
+    }
+    return cell;
+}
+
+bool sweep(const char* workload, const CsrGraph& g, const Topology& topo,
+           BenchReport& report) {
+    std::printf("\nworkload: %s (%u vertices, %llu arcs)\n", workload,
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()));
+
+    const std::pair<BfsEngine, const char*> engines[] = {
+        {BfsEngine::kNaive, "naive"},
+        {BfsEngine::kBitmap, "bitmap"},
+        {BfsEngine::kMultiSocket, "multisocket"},
+        {BfsEngine::kHybrid, "hybrid"},
+    };
+
+    bool ok = true;
+    for (const auto& [engine, engine_name] : engines) {
+        Table table({"frontier_gen", "rate", "vs atomic", "prefix-sum ms",
+                     "writes", "simd words"});
+        double atomic_rate = 0.0;
+        std::vector<level_t> atomic_levels;
+        for (const FrontierGen gen : kModes) {
+            const Cell cell = measure(g, engine, gen, topo);
+            if (gen == FrontierGen::kAtomic) {
+                atomic_rate = cell.rate;
+                atomic_levels = cell.levels;
+            } else if (cell.levels != atomic_levels) {
+                // The knob must be invisible in the output: identical
+                // level arrays (parents may differ — any BFS tree wins
+                // races differently — but distances never do).
+                std::fprintf(stderr,
+                             "FAIL: %s/%s level arrays differ between "
+                             "atomic and compact modes\n",
+                             engine_name, workload);
+                ok = false;
+            }
+            table.add_row(
+                {to_string(gen), fmt("%.1f ME/s", cell.rate / 1e6),
+                 gen == FrontierGen::kAtomic
+                     ? "-"
+                     : fmt("%+.0f%%", 100.0 * (cell.rate / atomic_rate - 1.0)),
+                 fmt("%.2f", cell.prefix_ns / 1e6), fmt("%.0f", cell.writes),
+                 fmt("%.0f", cell.simd_words)});
+
+            report.add(std::string(engine_name) + "_" + workload,
+                       {{"threads", kThreads}, {"frontier_gen", gen_code(gen)}},
+                       {{"edges_per_second", cell.rate},
+                        {"prefix_sum_ns", cell.prefix_ns},
+                        {"compact_writes", cell.writes},
+                        {"simd_words_scanned", cell.simd_words},
+                        {"barrier_wait_ns", cell.barrier_ns}});
+        }
+        std::printf("engine: %s\n", engine_name);
+        table.print();
+    }
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Primitive costs and the modeled crossover (docs/PERF_MODEL.md).
+//
+//   T_atomic(F)  ~= (F / batch) * c_fa          queue-cursor fetch_adds
+//   T_compact(F) ~= c_barrier + F * c_copy      one extra barrier + memcpy
+//
+// Crossover: F* = c_barrier / (c_fa / batch - c_copy). Below F* the
+// atomic path's few fetch_adds are cheaper than a barrier round-trip;
+// above it the contended cursor loses. Measured here so the numbers in
+// the docs regenerate with the bench.
+// ---------------------------------------------------------------------
+
+void cost_model(BenchReport& report) {
+    constexpr std::uint64_t kOps = 1 << 20;
+
+    // c_fa, contended: all threads hammer one cache line, the
+    // steady-state cost of a shared queue cursor.
+    std::atomic<std::uint64_t> cursor{0};
+    SpinBarrier barrier(kThreads);
+    WallTimer timer;
+    {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < kThreads; ++t)
+            workers.emplace_back([&] {
+                barrier.arrive_and_wait();
+                for (std::uint64_t i = 0; i < kOps / kThreads; ++i)
+                    cursor.fetch_add(1, std::memory_order_acq_rel);
+            });
+        for (auto& w : workers) w.join();
+    }
+    const double c_fa = timer.seconds() * 1e9 / static_cast<double>(kOps);
+
+    // c_copy: per-element cost of the compact path's staged memcpy.
+    const std::size_t kElems = 1 << 22;
+    std::vector<vertex_t> src(kElems, 7);
+    std::vector<vertex_t> dst(kElems);
+    timer.reset();
+    std::memcpy(dst.data(), src.data(), kElems * sizeof(vertex_t));
+    const double c_copy =
+        timer.seconds() * 1e9 / static_cast<double>(kElems) +
+        (dst[kElems / 2] == 7 ? 0.0 : 1.0);  // defeat dead-store elision
+
+    // c_barrier: round-trip of the extra barrier the compact path adds
+    // per level (kThreads waiters).
+    constexpr int kRounds = 2000;
+    SpinBarrier round(kThreads);
+    timer.reset();
+    {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < kThreads; ++t)
+            workers.emplace_back([&] {
+                for (int i = 0; i < kRounds; ++i) round.arrive_and_wait();
+            });
+        for (auto& w : workers) w.join();
+    }
+    const double c_barrier = timer.seconds() * 1e9 / kRounds;
+
+    // Crossover per engine class: the naive engine pays one fetch_add
+    // per discovery (batch = 1); the batched engines amortize the
+    // cursor over a 64-slot LocalBatch flush.
+    const auto crossover_for = [&](double batch) {
+        const double per_vertex = c_fa / batch;
+        return per_vertex > c_copy ? c_barrier / (per_vertex - c_copy) : -1.0;
+    };
+    const double cross_naive = crossover_for(1.0);
+    const double cross_batched = crossover_for(64.0);
+
+    std::printf("\nprimitive costs (%d threads; oversubscribed hosts "
+                "overstate c_barrier):\n", kThreads);
+    Table table({"primitive", "cost"});
+    table.add_row({"contended fetch_add (c_fa)", fmt("%.1f ns", c_fa)});
+    table.add_row({"copy per vertex (c_copy)", fmt("%.2f ns", c_copy)});
+    table.add_row({"barrier round-trip (c_barrier)",
+                   fmt("%.0f ns", c_barrier)});
+    table.add_row({"crossover F*, batch=1 (naive)",
+                   cross_naive > 0.0 ? fmt("%.0f vertices", cross_naive)
+                                     : "none (copy >= fetch_add)"});
+    table.add_row({"crossover F*, batch=64 (batched)",
+                   cross_batched > 0.0 ? fmt("%.0f vertices", cross_batched)
+                                       : "none (copy >= amortized fetch_add)"});
+    table.print();
+    std::printf("simd dispatch: %s\n", to_string(simd::active_level()));
+
+    // Schema forbids negative metrics: 0 encodes "no crossover" (the
+    // copy outruns the amortized fetch_add at every frontier size).
+    report.add("cost_model", {{"threads", kThreads}},
+               {{"c_fa_ns", c_fa},
+                {"c_copy_ns", c_copy},
+                {"c_barrier_ns", c_barrier},
+                {"crossover_naive_vertices", std::max(cross_naive, 0.0)},
+                {"crossover_batched_vertices", std::max(cross_batched, 0.0)}});
+}
+
+}  // namespace
+
+int main() {
+    banner("Ablation: frontier generation (atomic / compact)",
+           "prefix-sum compaction, docs/PERF_MODEL.md");
+
+    // Two emulated sockets, 8 workers: enough claimants that the shared
+    // queue cursor is contended and the per-socket group offsets of the
+    // multisocket compactor are exercised.
+    const Topology topo = Topology::emulate(2, 2, 2);
+    std::printf("topology: %s, %d threads, %d timed runs per cell\n",
+                topo.describe().c_str(), kThreads, kRuns);
+    if (!obs::enabled() || !obs::compiled_in())
+        std::printf("note: prefix-sum/writes/simd columns need an SGE_OBS "
+                    "build with SGE_OBS != 0\n");
+
+    BenchReport report("ablation_frontier", "frontier-generation ablation");
+    report.set_topology(topo.describe());
+
+    const std::uint64_t n = scaled(1 << 14);
+    // Uniform: mid-size frontiers for many levels. R-MAT at arity 16:
+    // two explosive levels where the queue cursor is hottest.
+    const CsrGraph uniform = uniform_graph(n, 8 * n);
+    const CsrGraph rmat = rmat_graph(n, 16 * n);
+    report.set_workload("uniform+rmat", n);
+
+    bool ok = sweep("uniform", uniform, topo, report);
+    ok = sweep("rmat", rmat, topo, report) && ok;
+    cost_model(report);
+
+    report.write();
+    return ok ? 0 : 1;
+}

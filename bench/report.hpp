@@ -94,6 +94,11 @@ class BenchReport {
                       {"barrier_wait_ns", static_cast<double>(s.barrier_wait_ns)},
                       {"chunks_claimed", static_cast<double>(s.chunks_claimed)},
                       {"chunks_stolen", static_cast<double>(s.chunks_stolen)},
+                      {"prefix_sum_ns", static_cast<double>(s.prefix_sum_ns)},
+                      {"compact_writes",
+                       static_cast<double>(s.compact_writes)},
+                      {"simd_words_scanned",
+                       static_cast<double>(s.simd_words_scanned)},
                       {"max_thread_edges",
                        static_cast<double>(s.max_thread_edges)},
                       {"seconds", s.seconds}};

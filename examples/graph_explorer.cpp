@@ -44,6 +44,11 @@ struct Cli {
     std::string topology = "detect";
     std::string reorder = "none";
     std::string schedule = "edge_weighted";
+    std::string frontier_gen = "compact";
+    std::size_t chunk = 0;           // 0: keep BfsOptions default
+    std::size_t bottomup_chunk = 0;  // 0: engine derives from n/threads
+    double alpha = 0.0;              // 0: keep BfsOptions default
+    double beta = 0.0;
     std::uint32_t scale = 16;
     std::uint64_t edges = 0;  // 0: 8x vertices
     std::uint64_t vertices = 0;
@@ -75,11 +80,28 @@ struct Cli {
         "          [--topology detect|ep|ex|SxCxT] [--threads N] [--runs N]\n"
         "          [--reorder none|shuffle|degree|bfs]\n"
         "          [--schedule static|edge_weighted|stealing]\n"
+        "          [--frontier-gen atomic|compact]\n"
+        "          [--chunk N] [--bottomup-chunk N] [--alpha X] [--beta X]\n"
         "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
         "          [--width N] [--height N] [--seed N] [--validate]\n"
         "          [--stats] [--trace FILE.json]\n"
         "          [--serve N] [--serve-workers N] [--serve-queue N]\n"
-        "          [--serve-window MS] [--serve-deadline MS]\n",
+        "          [--serve-window MS] [--serve-deadline MS]\n"
+        "\n"
+        "engine knobs (BfsOptions; see docs/PERF_MODEL.md for tuning):\n"
+        "  --schedule        frontier division across workers: static\n"
+        "                    chunking, edge_weighted (default; chunks cut\n"
+        "                    by out-edge count), or stealing\n"
+        "  --frontier-gen    next-queue construction: compact (default;\n"
+        "                    per-thread buffers + prefix sum, no queue\n"
+        "                    atomics, SIMD bitmap sweeps) or atomic (the\n"
+        "                    legacy fetch_add appends, for ablation)\n"
+        "  --chunk           vertices per static-schedule claim (default "
+        "128)\n"
+        "  --bottomup-chunk  hybrid: vertices per bottom-up range claim\n"
+        "                    (default 0 = derive from n/threads)\n"
+        "  --alpha, --beta   hybrid direction-switch thresholds\n"
+        "                    (defaults 14, 24; Beamer et al.)\n",
         argv0);
     std::exit(2);
 }
@@ -99,6 +121,13 @@ Cli parse(int argc, char** argv) {
         else if (arg == "--topology") cli.topology = next();
         else if (arg == "--reorder") cli.reorder = next();
         else if (arg == "--schedule") cli.schedule = next();
+        else if (arg == "--frontier-gen") cli.frontier_gen = next();
+        else if (arg == "--chunk")
+            cli.chunk = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--bottomup-chunk")
+            cli.bottomup_chunk = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--alpha") cli.alpha = std::atof(next());
+        else if (arg == "--beta") cli.beta = std::atof(next());
         else if (arg == "--scale") cli.scale = std::strtoul(next(), nullptr, 10);
         else if (arg == "--edges") cli.edges = std::strtoull(next(), nullptr, 10);
         else if (arg == "--vertices") cli.vertices = std::strtoull(next(), nullptr, 10);
@@ -147,6 +176,14 @@ sge::BfsEngine parse_engine(const std::string& name) {
     if (name == "multisocket") return BfsEngine::kMultiSocket;
     if (name == "hybrid") return BfsEngine::kHybrid;
     std::fprintf(stderr, "bad --engine '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+sge::FrontierGen parse_frontier_gen(const std::string& name) {
+    using sge::FrontierGen;
+    if (name == "atomic") return FrontierGen::kAtomic;
+    if (name == "compact") return FrontierGen::kCompact;
+    std::fprintf(stderr, "bad --frontier-gen '%s'\n", name.c_str());
     std::exit(2);
 }
 
@@ -250,6 +287,11 @@ int main(int argc, char** argv) {
     options.topology = parse_topology(cli.topology);
     options.threads = cli.threads;
     options.schedule = parse_schedule(cli.schedule);
+    options.frontier_gen = parse_frontier_gen(cli.frontier_gen);
+    if (cli.chunk) options.chunk_size = cli.chunk;
+    options.bottomup_chunk = cli.bottomup_chunk;
+    if (cli.alpha > 0) options.hybrid_alpha = cli.alpha;
+    if (cli.beta > 0) options.hybrid_beta = cli.beta;
     // --stats/--trace honour the SGE_OBS=0 runtime master switch.
     const bool instrument =
         (cli.stats || !cli.trace.empty()) && obs::enabled();
@@ -313,10 +355,11 @@ int main(int argc, char** argv) {
     }
 
     BfsRunner runner(options);
-    std::printf("engine: %s, %d threads on %s, %s schedule\n",
+    std::printf("engine: %s, %d threads on %s, %s schedule, %s frontiers\n",
                 to_string(runner.resolved_engine()).c_str(), runner.threads(),
                 runner.topology().describe().c_str(),
-                to_string(options.schedule).c_str());
+                to_string(options.schedule).c_str(),
+                to_string(options.frontier_gen).c_str());
 
     Xoshiro256 rng(cli.seed + 1000);
     double best = 0.0;

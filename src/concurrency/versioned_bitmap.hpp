@@ -111,6 +111,15 @@ class VersionedBitmap {
         return &words_[i / kSlotsPerWord];
     }
 
+    /// Raw word storage (`epoch | payload` packing) for the
+    /// word-at-a-time scans in runtime/simd_scan.hpp. Payload bits past
+    /// size_bits() in the tail word are never set by test_and_set, so a
+    /// whole-word mask needs no tail clipping for set bits — only
+    /// unvisited-mask consumers must clip to their vertex range.
+    [[nodiscard]] const std::atomic<std::uint64_t>* words() const noexcept {
+        return words_.data();
+    }
+
     [[nodiscard]] std::size_t num_words() const noexcept {
         return words_.size();
     }

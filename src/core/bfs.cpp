@@ -21,6 +21,14 @@ std::string to_string(BfsEngine engine) {
     return "unknown";
 }
 
+std::string to_string(FrontierGen gen) {
+    switch (gen) {
+        case FrontierGen::kAtomic: return "atomic";
+        case FrontierGen::kCompact: return "compact";
+    }
+    return "unknown";
+}
+
 namespace {
 
 Topology resolve_topology(const BfsOptions& options) {
@@ -168,6 +176,13 @@ obs::ChromeTrace make_bfs_trace(const BfsResult& result,
             trace.add_counter("scheduler chunks", cursor,
                               {{"claimed", s.chunks_claimed},
                                {"stolen", s.chunks_stolen}});
+        if (s.compact_writes > 0 || s.prefix_sum_ns > 0)
+            trace.add_counter("compaction", cursor,
+                              {{"writes", s.compact_writes},
+                               {"prefix us", s.prefix_sum_ns / 1000}});
+        if (s.simd_words_scanned > 0)
+            trace.add_counter("simd words", cursor,
+                              {{"words", s.simd_words_scanned}});
         cursor += static_cast<std::uint64_t>(s.seconds * 1e9);
     }
     return trace;

@@ -29,6 +29,22 @@ enum class BfsEngine {
 
 [[nodiscard]] std::string to_string(BfsEngine engine);
 
+/// How the parallel engines build the next-level frontier queue (NQ);
+/// see docs/ALGORITHMS.md "Frontier generation".
+enum class FrontierGen {
+    /// Legacy path: producers reserve NQ slots with fetch_add (per
+    /// vertex in the naive engine, per 64-vertex batch elsewhere).
+    /// Retained for the bench/ablation_frontier A/B.
+    kAtomic,
+    /// Count -> parallel exclusive prefix sum -> contiguous writes
+    /// (FrontierCompactor): zero atomics in NQ construction, plus
+    /// word-at-a-time (SIMD-assisted) bitmap and lane-mask scans in the
+    /// bottom-up, harvest and MS-BFS sweeps. The default.
+    kCompact,
+};
+
+[[nodiscard]] std::string to_string(FrontierGen gen);
+
 /// Tuning and instrumentation knobs. Defaults reproduce the paper's
 /// most-optimized configuration.
 struct BfsOptions {
@@ -57,6 +73,16 @@ struct BfsOptions {
     /// out-edge count so hubs cannot stall the level barrier, kStealing
     /// adds per-thread ranges with intra-socket work stealing on top.
     SchedulePolicy schedule = SchedulePolicy::kEdgeWeighted;
+
+    /// How the next-level frontier is materialized (see FrontierGen and
+    /// docs/ALGORITHMS.md "Frontier generation"): kCompact (default)
+    /// builds NQ with per-thread buffers + a prefix sum — no atomics in
+    /// queue construction — and vectorizes the bottom-up/harvest bitmap
+    /// sweeps; kAtomic keeps the legacy fetch_add appends and scalar
+    /// sweeps for ablation (bench/ablation_frontier). The visited-claim
+    /// atomics (test_and_set / parent CAS) are required for correctness
+    /// and remain in both modes. Ignored by the serial engine.
+    FrontierGen frontier_gen = FrontierGen::kCompact;
 
     /// kHybrid: vertices per bottom-up range claim (and per conversion
     /// sweep claim). 0 (default) derives n / (threads * 64) clamped to
@@ -227,6 +253,26 @@ struct BfsLevelStats {
     /// claimed exactly once.
     std::uint64_t chunks_claimed = 0;
     std::uint64_t chunks_stolen = 0;
+
+    /// Nanoseconds spent in the compact frontier-generation phase
+    /// (exclusive prefix offsets + contiguous copy-out), summed across
+    /// threads. Zero under FrontierGen::kAtomic. This is the cost the
+    /// prefix-sum scheme pays to delete the queue atomics; compare
+    /// against barrier_wait_ns in docs/PERF_MODEL.md's crossover model.
+    std::uint64_t prefix_sum_ns = 0;
+
+    /// Vertices written into next-level queues by compact copy-out this
+    /// level. Invariant: compact_writes == the next level's
+    /// frontier_size (exact cover — every discovery written exactly
+    /// once), so summed over a run it equals vertices_visited - 1.
+    /// Zero under FrontierGen::kAtomic.
+    std::uint64_t compact_writes = 0;
+
+    /// Bitmap / lane-mask words examined by the word-at-a-time scans
+    /// (bottom-up unvisited sweep, bits->queue harvest, MS-BFS frontier
+    /// scans), whether vector-skipped or iterated with ctz. Zero under
+    /// FrontierGen::kAtomic (those paths test per vertex instead).
+    std::uint64_t simd_words_scanned = 0;
 
     /// Largest per-thread edges_scanned this level — the numerator of
     /// the edge spread (max_thread_edges * threads / edges_scanned is

@@ -43,6 +43,12 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     VersionedBitmap& bitmap = ws.visited;
     FrontierQueue* const queues = ws.queues;
     WorkQueue& wq = *ws.wq;
+    // Compact frontier generation: discoveries stage in per-thread
+    // buffers and land in NQ via prefix-sum copy-out instead of batched
+    // push_batch reservations (docs/ALGORITHMS.md), deleting the
+    // remaining one-fetch_add-per-64-vertices of queue contention.
+    const bool compact = options.frontier_gen == FrontierGen::kCompact;
+    FrontierCompactor& fc = ws.compactor;
     SpinBarrier barrier(threads);
 
     struct Shared {
@@ -93,6 +99,7 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
         LocalBatch<vertex_t>& staged =
             ws.scratch[static_cast<std::size_t>(tid)].staged;
+        vertex_t* const cbuf = compact ? fc.buffer(tid) : nullptr;
         level_t depth = 0;
         std::uint64_t total_edges = 0;
         std::uint64_t discovered = 0;
@@ -109,6 +116,7 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
             std::size_t begin = 0;
             std::size_t end = 0;
+            std::size_t staged_count = 0;  // compact-mode discoveries
             WorkQueue::Claim cl;
             while ((cl = wq.claim(tid, begin, end)) != WorkQueue::Claim::kNone) {
                 counters.count_chunk(cl == WorkQueue::Claim::kStolen);
@@ -137,14 +145,18 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                         parent[v] = u;  // winner-only plain store
                         if (level != nullptr) level[v] = depth + 1;
                         ++discovered;
-                        if (staged.push(v)) {
+                        if (compact) {
+                            cbuf[staged_count++] = v;  // plain store
+                        } else if (staged.push(v)) {
                             nq.push_batch(staged.data(), staged.size());
                             staged.clear();
                         }
                     }
                 }
             }
-            if (!staged.empty()) {
+            if (compact) {
+                fc.publish(tid, staged_count);
+            } else if (!staged.empty()) {
                 nq.push_batch(staged.data(), staged.size());
                 staged.clear();
             }
@@ -152,10 +164,18 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             counters.flush_into(slot);
             if (!timed_wait(barrier, slot, collect)) return;
 
+            if (compact) {
+                // Prefix-sum copy-out into NQ (counts barrier-ordered);
+                // extra barrier so tid 0's set_size sees every segment.
+                compact_copy_out(fc, tid, nq.slots_mut(), slot);
+                if (!timed_wait(barrier, slot, collect)) return;
+            }
+
             if (tid == 0) {
                 slot.seconds = level_timer.seconds();
                 level_timer.reset();
                 cq.reset();
+                if (compact) nq.set_size(fc.total());
                 shared.current = 1 - cur;
                 shared.done = nq.size() == 0;
                 shared.levels_run.fetch_add(1, std::memory_order_relaxed);

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <bit>
 #include <cassert>
 
 #include "concurrency/spin_barrier.hpp"
@@ -8,6 +9,7 @@
 #include "core/frontier.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
+#include "runtime/simd_scan.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
@@ -70,6 +72,16 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     WorkQueue& range_wq = *ws.range_wq;
     const std::size_t range_chunk = resolve_bottomup_chunk(options, n, threads);
 
+    // Compact frontier generation (docs/ALGORITHMS.md "Frontier
+    // generation"): top-down levels stage discoveries in per-thread
+    // buffers and reach NQ via prefix-sum copy-out; bottom-up levels
+    // word-scan the visited bitmap (whole-word skips, vectorized when
+    // the CPU allows); the bits->queue harvest compacts straight into
+    // the queue slots. The visited-claim atomics remain in both modes.
+    const bool compact = options.frontier_gen == FrontierGen::kCompact;
+    FrontierCompactor& fc = ws.compactor;
+    const simd::IsaLevel isa = simd::active_level();
+
     struct Shared {
         std::atomic<std::uint64_t> visited_count{0};
         // Frontier statistics for the direction heuristic, re-zeroed by
@@ -131,11 +143,16 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
         LocalBatch<vertex_t>& staged =
             ws.scratch[static_cast<std::size_t>(tid)].staged;
+        vertex_t* const cbuf = compact ? fc.buffer(tid) : nullptr;
         level_t depth = 0;
         WallTimer level_timer;  // tid 0 stamps per-level wall time
         for (;;) {
             const std::uint64_t span_start = spans.now(timer);
             const int cur = shared.current;
+            // Captured once so every barrier-count decision below (the
+            // compact copy-out runs only after top-down levels) branches
+            // on the same value on every thread.
+            const Direction dir = shared.direction;
             FrontierQueue& cq = queues[cur];
             FrontierQueue& nq = queues[1 - cur];
             VersionedBitmap& fb_cur = frontier_bits[cur];
@@ -147,7 +164,8 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
             std::uint64_t discovered = 0;
             std::uint64_t discovered_degree = 0;
 
-            if (shared.direction == Direction::kTopDown) {
+            std::size_t staged_count = 0;  // compact-mode discoveries
+            if (dir == Direction::kTopDown) {
                 std::size_t begin = 0;
                 std::size_t end = 0;
                 WorkQueue::Claim cl;
@@ -180,14 +198,18 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                             if (level != nullptr) level[v] = depth + 1;
                             ++discovered;
                             discovered_degree += g.degree(v);
-                            if (staged.push(v)) {
+                            if (compact) {
+                                cbuf[staged_count++] = v;  // plain store
+                            } else if (staged.push(v)) {
                                 nq.push_batch(staged.data(), staged.size());
                                 staged.clear();
                             }
                         }
                     }
                 }
-                if (!staged.empty()) {
+                if (compact) {
+                    fc.publish(tid, staged_count);
+                } else if (!staged.empty()) {
                     nq.push_batch(staged.data(), staged.size());
                     staged.clear();
                 }
@@ -198,33 +220,73 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 std::size_t base = 0;
                 std::size_t stop = 0;
                 WorkQueue::Claim cl;
-                while ((cl = range_wq.claim(tid, base, stop)) !=
-                       WorkQueue::Claim::kNone) {
-                    counters.count_chunk(cl == WorkQueue::Claim::kStolen);
-                    for (std::size_t vi = base; vi < stop; ++vi) {
-                        const auto v = static_cast<vertex_t>(vi);
+                const auto hunt = [&](vertex_t v) {
+                    for (const vertex_t w : g.neighbors(v)) {
+                        ++counters.edges_scanned;
                         ++counters.bitmap_checks;
-                        if (visited.test(v)) {
-                            counters.count_skip();
-                            continue;
-                        }
-                        for (const vertex_t w : g.neighbors(v)) {
-                            ++counters.edges_scanned;
+                        if (!fb_cur.test(w)) continue;
+                        // v's chunk is claimed exactly once, so the
+                        // test_and_set cannot lose; it still provides
+                        // the release ordering the next level needs.
+                        ++counters.atomic_ops;
+                        visited.test_and_set(v);
+                        counters.count_win();
+                        parent[v] = w;
+                        if (level != nullptr) level[v] = depth + 1;
+                        ++discovered;
+                        discovered_degree += g.degree(v);
+                        ++counters.atomic_ops;
+                        fb_next.test_and_set(v);
+                        break;
+                    }
+                };
+                if (compact) {
+                    // Vectorized sweep: test 32 visited slots per word
+                    // (whole stale/full words cost one compare — or a
+                    // quarter of one under AVX2) and ctz-iterate only the
+                    // surviving unvisited bits. Visited vertices skipped
+                    // wholesale are accounted in simd_words_scanned, not
+                    // bitmap_skips; each *emitted* vertex still counts
+                    // one bitmap_check like the scalar path.
+                    constexpr std::size_t W = VersionedBitmap::kSlotsPerWord;
+                    const std::uint32_t vepoch = visited.epoch();
+                    const std::atomic<std::uint64_t>* const vwords =
+                        visited.words();
+                    std::uint64_t words_local = 0;
+                    while ((cl = range_wq.claim(tid, base, stop)) !=
+                           WorkQueue::Claim::kNone) {
+                        counters.count_chunk(cl == WorkQueue::Claim::kStolen);
+                        const std::size_t wlo = base / W;
+                        const std::size_t whi = (stop + W - 1) / W;
+                        simd::for_each_unvisited_word(
+                            vwords, wlo, whi, vepoch, isa, words_local,
+                            [&](std::size_t wi, std::uint32_t mask) {
+                                // Clip boundary words to [base, stop):
+                                // they may straddle a neighbouring claim.
+                                if (wi == wlo && base % W != 0)
+                                    mask &= ~std::uint32_t{0} << (base % W);
+                                if (wi + 1 == whi && stop % W != 0)
+                                    mask &=
+                                        (std::uint32_t{1} << (stop % W)) - 1;
+                                simd::for_each_bit(mask, [&](unsigned b) {
+                                    ++counters.bitmap_checks;
+                                    hunt(static_cast<vertex_t>(wi * W + b));
+                                });
+                            });
+                    }
+                    counters.count_simd_words(words_local);
+                } else {
+                    while ((cl = range_wq.claim(tid, base, stop)) !=
+                           WorkQueue::Claim::kNone) {
+                        counters.count_chunk(cl == WorkQueue::Claim::kStolen);
+                        for (std::size_t vi = base; vi < stop; ++vi) {
+                            const auto v = static_cast<vertex_t>(vi);
                             ++counters.bitmap_checks;
-                            if (!fb_cur.test(w)) continue;
-                            // v's chunk is claimed exactly once, so the
-                            // test_and_set cannot lose; it still provides
-                            // the release ordering the next level needs.
-                            ++counters.atomic_ops;
-                            visited.test_and_set(v);
-                            counters.count_win();
-                            parent[v] = w;
-                            if (level != nullptr) level[v] = depth + 1;
-                            ++discovered;
-                            discovered_degree += g.degree(v);
-                            ++counters.atomic_ops;
-                            fb_next.test_and_set(v);
-                            break;
+                            if (visited.test(v)) {
+                                counters.count_skip();
+                                continue;
+                            }
+                            hunt(v);
                         }
                     }
                 }
@@ -239,6 +301,15 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                                              std::memory_order_relaxed);
             counters.flush_into(slot);
             if (!timed_wait(barrier, slot, collect)) return;
+
+            if (compact && dir == Direction::kTopDown) {
+                // Prefix-sum copy-out into NQ (counts barrier-ordered);
+                // extra barrier so tid 0's set_size sees every segment.
+                // Bottom-up levels produce no queue, so they keep the
+                // two-barrier structure.
+                compact_copy_out(fc, tid, nq.slots_mut(), slot);
+                if (!timed_wait(barrier, slot, collect)) return;
+            }
 
             if (tid == 0) {
                 slot.seconds = level_timer.seconds();
@@ -278,6 +349,8 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                     shared.direction == Direction::kBottomUp;
 
                 cq.reset();
+                if (compact && dir == Direction::kTopDown)
+                    nq.set_size(fc.total());
                 // O(1) "clear": stale-epoch words read as unset. The
                 // physically cleared word count (wraparound only) feeds
                 // the same counter as the per-query resets.
@@ -350,29 +423,76 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 // harvest set bits into the current queue.
                 FrontierQueue& now_cq = queues[shared.current];
                 VersionedBitmap& now_fb = frontier_bits[shared.current];
-                std::size_t base = 0;
-                std::size_t stop = 0;
-                while (range_wq.claim(tid, base, stop) !=
-                       WorkQueue::Claim::kNone) {
-                    for (std::size_t vi = base; vi < stop; ++vi) {
-                        if (!now_fb.test(vi)) continue;
-                        if (staged.push(static_cast<vertex_t>(vi))) {
-                            now_cq.push_batch(staged.data(), staged.size());
-                            staged.clear();
+                if (compact) {
+                    // Compacted harvest over fixed word slices, two
+                    // passes. Pass 1 popcounts this thread's slice of
+                    // the (now quiescent) frontier bitmap; the barrier
+                    // orders the counts, so pass 2 can write vertex ids
+                    // straight into a disjoint queue segment — the queue
+                    // comes out in ascending vertex order with zero
+                    // atomics, deterministically.
+                    constexpr std::size_t W = VersionedBitmap::kSlotsPerWord;
+                    const std::uint32_t fepoch = now_fb.epoch();
+                    const std::atomic<std::uint64_t>* const fwords =
+                        now_fb.words();
+                    const auto [fwlo, fwhi] =
+                        split_range(now_fb.num_words(), threads, tid);
+                    std::uint64_t words_local = 0;
+                    std::size_t found = 0;
+                    simd::for_each_set_word(
+                        fwords, fwlo, fwhi, fepoch, isa, words_local,
+                        [&](std::size_t, std::uint32_t mask) {
+                            found += static_cast<unsigned>(
+                                std::popcount(mask));
+                        });
+                    fc.publish(tid, found);
+                    if (!timed_wait(barrier, slot, collect)) return;
+                    WallTimer harvest_timer;
+                    vertex_t* out = now_cq.slots_mut() + fc.offset_of(tid);
+                    simd::for_each_set_word(
+                        fwords, fwlo, fwhi, fepoch, isa, words_local,
+                        [&](std::size_t wi, std::uint32_t mask) {
+                            simd::for_each_bit(mask, [&](unsigned b) {
+                                *out++ = static_cast<vertex_t>(wi * W + b);
+                            });
+                        });
+                    note_compaction(slot, harvest_timer.nanoseconds(), found);
+                    note_simd_words(slot, words_local);
+                    if (!timed_wait(barrier, slot, collect)) return;
+                    // The harvested queue only exists now: size it and
+                    // cut its plan for the top-down level about to start.
+                    if (tid == 0) {
+                        now_cq.set_size(fc.total());
+                        plan_frontier(wq, now_cq.data(), now_cq.size(), g,
+                                      options.schedule, chunk);
+                    }
+                    if (!timed_wait(barrier, slot, collect)) return;
+                } else {
+                    std::size_t base = 0;
+                    std::size_t stop = 0;
+                    while (range_wq.claim(tid, base, stop) !=
+                           WorkQueue::Claim::kNone) {
+                        for (std::size_t vi = base; vi < stop; ++vi) {
+                            if (!now_fb.test(vi)) continue;
+                            if (staged.push(static_cast<vertex_t>(vi))) {
+                                now_cq.push_batch(staged.data(),
+                                                  staged.size());
+                                staged.clear();
+                            }
                         }
                     }
+                    if (!staged.empty()) {
+                        now_cq.push_batch(staged.data(), staged.size());
+                        staged.clear();
+                    }
+                    if (!timed_wait(barrier, slot, collect)) return;
+                    // The harvested queue only exists now: cut its plan
+                    // for the top-down level about to start.
+                    if (tid == 0)
+                        plan_frontier(wq, now_cq.data(), now_cq.size(), g,
+                                      options.schedule, chunk);
+                    if (!timed_wait(barrier, slot, collect)) return;
                 }
-                if (!staged.empty()) {
-                    now_cq.push_batch(staged.data(), staged.size());
-                    staged.clear();
-                }
-                if (!timed_wait(barrier, slot, collect)) return;
-                // The harvested queue only exists now: cut its plan for
-                // the top-down level about to start.
-                if (tid == 0)
-                    plan_frontier(wq, now_cq.data(), now_cq.size(), g,
-                                  options.schedule, chunk);
-                if (!timed_wait(barrier, slot, collect)) return;
             }
             ++depth;
         }

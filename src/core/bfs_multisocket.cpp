@@ -56,6 +56,14 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
     auto& channels = ws.channels;
     auto& wqs = ws.socket_wqs;
     const std::vector<int>& rank_in_socket = ws.rank_in_socket;
+    // Compact frontier generation: each worker stages both phases'
+    // local discoveries in its private buffer and copies them into its
+    // *socket's* NQ at a per-socket prefix offset (the compactor groups
+    // claimants by socket) — no queue atomics. Channel traffic is
+    // untouched: tuples still batch through the rings; only the NQ
+    // append changes (docs/ALGORITHMS.md "Frontier generation").
+    const bool compact = options.frontier_gen == FrontierGen::kCompact;
+    FrontierCompactor& fc = ws.compactor;
     SpinBarrier barrier(threads);
 
     struct Shared {
@@ -124,6 +132,8 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
         LocalBatch<vertex_t>& staged = scratch.staged;
         std::vector<LocalBatch<std::uint64_t>>& remote = scratch.remote;
         AlignedBuffer<std::uint64_t>& drain = scratch.drain;
+        vertex_t* const cbuf = compact ? fc.buffer(tid) : nullptr;
+        std::size_t staged_count = 0;  // compact-mode discoveries per level
 
         // Visit `v` (owned by this socket) with parent `u`; enqueue into
         // `nq` on first visit. Shared by both phases.
@@ -141,7 +151,9 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
             parent[v] = u;
             if (level != nullptr) level[v] = next_level;
             ++discovered;
-            if (staged.push(v)) {
+            if (compact) {
+                cbuf[staged_count++] = v;  // plain store
+            } else if (staged.push(v)) {
                 nq.push_batch(staged.data(), staged.size());
                 staged.clear();
             }
@@ -164,6 +176,7 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
             // ---- Phase 1: scan this socket's frontier. ----
             std::size_t begin = 0;
             std::size_t end = 0;
+            staged_count = 0;
             WorkQueue::Claim cl;
             while ((cl = wqs[my]->claim(rank_in_socket[tid], begin, end)) !=
                    WorkQueue::Claim::kNone) {
@@ -231,7 +244,9 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
             // leftover tuple would be dropped silently (a missing tree
             // edge), so fail loudly in debug builds.
             assert(my_channel.drained());
-            if (!staged.empty()) {
+            if (compact) {
+                fc.publish(tid, staged_count);
+            } else if (!staged.empty()) {
                 nq.push_batch(staged.data(), staged.size());
                 staged.clear();
             }
@@ -239,12 +254,23 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
             counters.flush_into(slot);
             if (!timed_wait(barrier, slot, collect)) return;
 
+            if (compact) {
+                // Both phases' discoveries are published: copy each
+                // worker's segment into its socket's NQ at the socket-
+                // group prefix offset, then one more barrier so tid 0's
+                // set_size sees every segment.
+                compact_copy_out(fc, tid, nq.slots_mut(), slot);
+                if (!timed_wait(barrier, slot, collect)) return;
+            }
+
             if (tid == 0) {
                 slot.seconds = level_timer.seconds();
                 level_timer.reset();
                 std::uint64_t next_frontier = 0;
                 for (int s = 0; s < sockets; ++s) {
                     queues[cur][s].reset();
+                    if (compact)
+                        queues[1 - cur][s].set_size(fc.group_total(s));
                     next_frontier += queues[1 - cur][s].size();
                 }
                 shared.current = 1 - cur;

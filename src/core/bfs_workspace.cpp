@@ -23,7 +23,8 @@ std::pair<std::size_t, std::size_t> word_range(std::size_t vlo,
 void BfsWorkspace::prepare(const CsrGraph& g, BfsEngine engine,
                            const BfsOptions& options, ThreadTeam& team) {
     if (g.num_vertices() != prepared_n_ || engine != prepared_engine_ ||
-        team.size() != prepared_threads_) {
+        team.size() != prepared_threads_ ||
+        options.frontier_gen != prepared_gen_) {
         allocate(g, engine, options, team);
         ++stats.prepares;
     } else {
@@ -82,6 +83,7 @@ void BfsWorkspace::allocate(const CsrGraph& g, BfsEngine engine,
     range_planned = false;
     socket_wqs.clear();
     scratch.clear();
+    compactor.clear();
 
     switch (engine) {
         case BfsEngine::kNaive:
@@ -145,11 +147,41 @@ void BfsWorkspace::allocate(const CsrGraph& g, BfsEngine engine,
             break;  // no parallel arena
     }
 
+    // Compact frontier generation: one private discovery buffer per
+    // worker (capped by what that worker can discover in a level — n,
+    // or its socket's partition for the per-socket queues) plus the
+    // published counts. kAtomic mode skips the whole arena.
+    if (options.frontier_gen == FrontierGen::kCompact) {
+        switch (engine) {
+            case BfsEngine::kNaive:
+            case BfsEngine::kBitmap:
+            case BfsEngine::kHybrid:
+                compactor.configure(threads, static_cast<std::size_t>(n));
+                break;
+            case BfsEngine::kMultiSocket: {
+                const SocketPartition partition(n, sockets);
+                std::vector<std::size_t> caps(
+                    static_cast<std::size_t>(threads));
+                std::vector<int> groups(static_cast<std::size_t>(threads));
+                for (int t = 0; t < threads; ++t) {
+                    const int s = team.socket_of(t);
+                    caps[static_cast<std::size_t>(t)] = partition.size(s);
+                    groups[static_cast<std::size_t>(t)] = s;
+                }
+                compactor.configure(threads, caps, std::move(groups));
+                break;
+            }
+            default:
+                break;
+        }
+    }
+
     first_touch(engine, team);
 
     prepared_n_ = n;
     prepared_engine_ = engine;
     prepared_threads_ = threads;
+    prepared_gen_ = options.frontier_gen;
 }
 
 void BfsWorkspace::first_touch(BfsEngine engine, ThreadTeam& team) {
@@ -174,6 +206,10 @@ void BfsWorkspace::first_touch(BfsEngine engine, ThreadTeam& team) {
     // vertex-indexed array — the paper's placement rule, applied once at
     // allocation instead of every traversal.
     team.run([&](int tid) {
+        // Each worker faults in its own compact discovery buffer: the
+        // pages land on the node of the thread that will fill them.
+        if (tid < compactor.claimants()) compactor.first_touch(tid);
+
         const int my = team.socket_of(tid);
         const auto [lo, hi] = partition.range(my);
         const int peers = socket_threads[static_cast<std::size_t>(my)];
@@ -270,6 +306,7 @@ void BfsWorkspace::reset_for_query(BfsEngine engine) {
         s.staged.clear();
         for (LocalBatch<std::uint64_t>& r : s.remote) r.clear();
     }
+    compactor.reset();
 }
 
 void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,

@@ -13,6 +13,7 @@
 #include "core/bfs.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "core/frontier_compact.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
 #include "runtime/aligned_buffer.hpp"
@@ -108,6 +109,12 @@ class BfsWorkspace {
     };
     std::vector<ThreadScratch> scratch;
 
+    /// Atomic-free frontier-generation arena (FrontierGen::kCompact):
+    /// per-thread discovery buffers plus the published counts the
+    /// exclusive prefix sum runs over, reused across levels and queries.
+    /// Unconfigured (empty) when the runner uses FrontierGen::kAtomic.
+    FrontierCompactor compactor;
+
     /// Per-level stats slots, reused across queries (acquire_level_slot).
     detail::LevelAccumLog accum;
 
@@ -135,6 +142,7 @@ class BfsWorkspace {
     vertex_t prepared_n_ = kInvalidVertex;
     BfsEngine prepared_engine_ = BfsEngine::kAuto;
     int prepared_threads_ = 0;
+    FrontierGen prepared_gen_ = FrontierGen::kAtomic;
 
     // Identity of the last-seen graph (offsets pointer + sizes): a swap
     // at equal n keeps the buffers but invalidates degree-derived plans.

@@ -20,6 +20,7 @@
 #include "concurrency/work_queue.hpp"
 #include "core/bfs.hpp"
 #include "core/frontier.hpp"
+#include "core/frontier_compact.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/env.hpp"
 #include "runtime/obs.hpp"
@@ -173,6 +174,9 @@ struct LevelAccum {
     std::atomic<std::uint64_t> chunks_claimed{0};
     std::atomic<std::uint64_t> chunks_stolen{0};
     std::atomic<std::uint64_t> max_thread_edges{0};  // max, not sum
+    std::atomic<std::uint64_t> prefix_sum_ns{0};
+    std::atomic<std::uint64_t> compact_writes{0};
+    std::atomic<std::uint64_t> simd_words_scanned{0};
 
     LevelAccum() = default;
     LevelAccum(const LevelAccum&) = delete;
@@ -198,6 +202,9 @@ struct LevelAccum {
         chunks_claimed.store(0, std::memory_order_relaxed);
         chunks_stolen.store(0, std::memory_order_relaxed);
         max_thread_edges.store(0, std::memory_order_relaxed);
+        prefix_sum_ns.store(0, std::memory_order_relaxed);
+        compact_writes.store(0, std::memory_order_relaxed);
+        simd_words_scanned.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -246,6 +253,7 @@ struct alignas(kCacheLineSize) ThreadCounters {
     std::uint64_t batch_occupancy[kBatchOccupancyBuckets] = {};
     std::uint64_t chunks_claimed = 0;
     std::uint64_t chunks_stolen = 0;
+    std::uint64_t simd_words_scanned = 0;
 
     /// A frontier chunk claimed from the scheduler (stolen when it came
     /// from a same-socket sibling's range).
@@ -273,6 +281,13 @@ struct alignas(kCacheLineSize) ThreadCounters {
             ++batches_pushed;
             ++batch_occupancy[batch_occupancy_bucket(size, capacity)];
         }
+    }
+
+    /// `words` bitmap / lane-mask words examined by a word-at-a-time
+    /// scan (simd_scan.hpp), vector-skipped or ctz-iterated alike.
+    void count_simd_words(std::uint64_t words) noexcept {
+        if constexpr (obs::compiled_in()) simd_words_scanned += words;
+        (void)words;
     }
 
     /// A non-empty channel drain of `size` items (capacity = the drain
@@ -305,6 +320,8 @@ struct alignas(kCacheLineSize) ThreadCounters {
                                           std::memory_order_relaxed);
             slot.chunks_stolen.fetch_add(chunks_stolen,
                                          std::memory_order_relaxed);
+            slot.simd_words_scanned.fetch_add(simd_words_scanned,
+                                              std::memory_order_relaxed);
             atomic_accumulate_max(slot.max_thread_edges, edges_scanned);
         }
         *this = ThreadCounters{};
@@ -340,6 +357,50 @@ inline bool timed_wait(SpinBarrier& barrier, LevelAccum& slot, bool timed) {
     (void)slot;
     (void)timed;
     return barrier.arrive_and_wait();
+}
+
+/// One worker's compact-mode copy-out step: exclusive prefix offset +
+/// contiguous memcpy of its staged discoveries into `dst` (the target
+/// queue's slots). Times the step into the level slot's prefix_sum_ns
+/// and counts the vertices into compact_writes (SGE_OBS builds; the
+/// slot is written directly because the worker's ThreadCounters were
+/// already flushed before the level barrier). Call between the barrier
+/// that follows publish() and the barrier that precedes set_size().
+inline void compact_copy_out(const FrontierCompactor& fc, int tid,
+                             vertex_t* dst, LevelAccum& slot) {
+    if constexpr (obs::compiled_in()) {
+        WallTimer timer;
+        const std::size_t copied = fc.copy_out(tid, dst);
+        slot.prefix_sum_ns.fetch_add(timer.nanoseconds(),
+                                     std::memory_order_relaxed);
+        slot.compact_writes.fetch_add(copied, std::memory_order_relaxed);
+        return;
+    }
+    (void)slot;
+    fc.copy_out(tid, dst);
+}
+
+/// Slot-direct variant of ThreadCounters::count_simd_words for sweeps
+/// that run after the worker's counters were flushed (the hybrid
+/// harvest's two passes).
+inline void note_simd_words(LevelAccum& slot, std::uint64_t words) noexcept {
+    if constexpr (obs::compiled_in())
+        slot.simd_words_scanned.fetch_add(words, std::memory_order_relaxed);
+    (void)slot;
+    (void)words;
+}
+
+/// Slot-direct compact_writes/prefix_sum_ns accounting for harvest-style
+/// compaction that writes queue slots directly instead of copy_out.
+inline void note_compaction(LevelAccum& slot, std::uint64_t ns,
+                            std::uint64_t writes) noexcept {
+    if constexpr (obs::compiled_in()) {
+        slot.prefix_sum_ns.fetch_add(ns, std::memory_order_relaxed);
+        slot.compact_writes.fetch_add(writes, std::memory_order_relaxed);
+    }
+    (void)slot;
+    (void)ns;
+    (void)writes;
 }
 
 /// Per-thread level-span log for the Chrome trace export. Each worker
@@ -461,6 +522,10 @@ inline void copy_level_stats(std::vector<BfsLevelStats>& out,
         s.chunks_stolen = a.chunks_stolen.load(std::memory_order_relaxed);
         s.max_thread_edges =
             a.max_thread_edges.load(std::memory_order_relaxed);
+        s.prefix_sum_ns = a.prefix_sum_ns.load(std::memory_order_relaxed);
+        s.compact_writes = a.compact_writes.load(std::memory_order_relaxed);
+        s.simd_words_scanned =
+            a.simd_words_scanned.load(std::memory_order_relaxed);
         out.push_back(s);
     }
 }

@@ -91,6 +91,16 @@ class FrontierQueue {
 
     [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+    /// Publishes the queue's size after an externally-synchronised
+    /// compact fill (FrontierCompactor: workers memcpy disjoint segments
+    /// into slots_mut(), a barrier quiesces them, then one thread
+    /// publishes the total). Release pairs with size()'s acquire so
+    /// scanners see the filled slots. Not for concurrent producers —
+    /// that is what push_batch's reservation is for.
+    void set_size(std::size_t count) noexcept {
+        push_->store(count, std::memory_order_release);
+    }
+
     /// Empties the queue and rewinds the scan cursor for the next level.
     /// Not thread-safe; call between barriers.
     void reset() noexcept {

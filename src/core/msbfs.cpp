@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "runtime/aligned_buffer.hpp"
+#include "runtime/simd_scan.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge {
@@ -60,6 +62,10 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
     // kStatic bypasses the queue entirely — fixed slices, the legacy
     // behaviour.
     const bool scheduled = options.schedule != SchedulePolicy::kStatic;
+    // kCompact: word-at-a-time lane-mask sweeps (there are no enqueue
+    // atomics to delete here — see MsBfsOptions::frontier_gen).
+    const bool compact = options.frontier_gen == FrontierGen::kCompact;
+    const simd::IsaLevel isa = simd::active_level();
     if (ws != nullptr) {
         // prepare_ms (re)allocates the lane buffers on shape change and
         // cuts/rewinds the dense-scan plan.
@@ -134,33 +140,45 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
             detail::LevelAccum& slot = stats[level];
 
             // Scan: spread each frontier vertex's lanes to neighbours.
-            const auto scan_span = [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t vi = lo; vi < hi; ++vi) {
-                    const std::uint64_t lanes = frontier[vi];
-                    if (lanes == 0) continue;
-                    const auto adj = g.neighbors(static_cast<vertex_t>(vi));
-                    counters.edges_scanned += adj.size();
-                    for (const vertex_t w : adj) {
-                        ++counters.bitmap_checks;
-                        std::uint64_t propagate =
-                            lanes & ~seen[w].load(std::memory_order_relaxed);
-                        if (propagate == 0) {
-                            // All lanes already reached w: the plain load
-                            // filtered the fetch_or, same as the bitmap
-                            // engine's double check.
-                            counters.count_skip();
-                            continue;
-                        }
+            std::uint64_t scan_words = 0;
+            const auto scan_vertex = [&](std::size_t vi, std::uint64_t lanes) {
+                const auto adj = g.neighbors(static_cast<vertex_t>(vi));
+                counters.edges_scanned += adj.size();
+                for (const vertex_t w : adj) {
+                    ++counters.bitmap_checks;
+                    std::uint64_t propagate =
+                        lanes & ~seen[w].load(std::memory_order_relaxed);
+                    if (propagate == 0) {
+                        // All lanes already reached w: the plain load
+                        // filtered the fetch_or, same as the bitmap
+                        // engine's double check.
+                        counters.count_skip();
+                        continue;
+                    }
+                    ++counters.atomic_ops;
+                    const std::uint64_t prev = seen[w].fetch_or(
+                        propagate, std::memory_order_acq_rel);
+                    propagate &= ~prev;  // lanes we actually won
+                    if (propagate != 0) {
+                        counters.count_win();
                         ++counters.atomic_ops;
-                        const std::uint64_t prev = seen[w].fetch_or(
-                            propagate, std::memory_order_acq_rel);
-                        propagate &= ~prev;  // lanes we actually won
-                        if (propagate != 0) {
-                            counters.count_win();
-                            ++counters.atomic_ops;
-                            next[w].fetch_or(propagate,
-                                             std::memory_order_relaxed);
-                        }
+                        next[w].fetch_or(propagate,
+                                         std::memory_order_relaxed);
+                    }
+                }
+            };
+            const auto scan_span = [&](std::size_t lo, std::size_t hi) {
+                if (compact) {
+                    // frontier[] is read-only during the scan phase, so
+                    // empty lane masks are skipped a word block at a
+                    // time instead of one load+branch per vertex.
+                    simd::for_each_nonzero_u64(frontier, lo, hi, isa,
+                                               scan_words, scan_vertex);
+                } else {
+                    for (std::size_t vi = lo; vi < hi; ++vi) {
+                        const std::uint64_t lanes = frontier[vi];
+                        if (lanes == 0) continue;
+                        scan_vertex(vi, lanes);
                     }
                 }
             };
@@ -175,19 +193,46 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
             } else {
                 scan_span(begin, end);
             }
+            counters.count_simd_words(scan_words);
             counters.flush_into(slot);
             if (!detail::timed_wait(barrier, slot, collect)) return;
 
             // Swap + report: each worker publishes its slice of `next`.
             std::uint64_t local_active = 0;
-            for (std::size_t v = begin; v < end; ++v) {
-                const std::uint64_t lanes =
-                    next[v].load(std::memory_order_relaxed);
-                frontier[v] = lanes;
-                next[v].store(0, std::memory_order_relaxed);
-                if (lanes != 0) {
-                    ++local_active;
-                    visit(tid, level + 1, static_cast<vertex_t>(v), lanes);
+            if (compact) {
+                // The level barrier quiesced next[], so this worker's
+                // slice block-copies into frontier[] and zeroes without
+                // per-word atomics; the callbacks then ride the nonzero-
+                // word sweep. (Counters were flushed above — swap-phase
+                // words go straight to the level slot.)
+                static_assert(sizeof(std::atomic<std::uint64_t>) ==
+                                  sizeof(std::uint64_t),
+                              "lane swap relies on lock-free layout");
+                if (end > begin) {
+                    std::memcpy(frontier + begin,
+                                static_cast<const void*>(next + begin),
+                                (end - begin) * sizeof(std::uint64_t));
+                    std::memset(static_cast<void*>(next + begin), 0,
+                                (end - begin) * sizeof(std::uint64_t));
+                }
+                std::uint64_t swap_words = 0;
+                simd::for_each_nonzero_u64(
+                    frontier, begin, end, isa, swap_words,
+                    [&](std::size_t v, std::uint64_t lanes) {
+                        ++local_active;
+                        visit(tid, level + 1, static_cast<vertex_t>(v), lanes);
+                    });
+                detail::note_simd_words(slot, swap_words);
+            } else {
+                for (std::size_t v = begin; v < end; ++v) {
+                    const std::uint64_t lanes =
+                        next[v].load(std::memory_order_relaxed);
+                    frontier[v] = lanes;
+                    next[v].store(0, std::memory_order_relaxed);
+                    if (lanes != 0) {
+                        ++local_active;
+                        visit(tid, level + 1, static_cast<vertex_t>(v), lanes);
+                    }
                 }
             }
             shared.active.fetch_add(local_active, std::memory_order_relaxed);

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check markdown cross-references in this repo's documentation.
+
+Usage:
+    python3 tools/check_doc_links.py FILE_OR_DIR [...]
+
+For every markdown file given (directories are scanned for *.md), the
+script extracts inline links and images (`[text](target)`) and verifies:
+
+  * relative file targets exist on disk (resolved against the linking
+    file's directory; external http(s)/mailto targets are skipped),
+  * `#anchor` fragments — both intra-document and cross-document —
+    resolve to a heading in the target file, using GitHub's slugging
+    rules (lowercase, punctuation stripped, spaces to hyphens, `-N`
+    suffixes for duplicates).
+
+Exits non-zero and prints one line per dangling link — made for CI.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading, seen):
+    """GitHub-style anchor for a heading line."""
+    # Strip inline code/emphasis markers and links before slugging.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = re.sub(r"[`*_]", "", text)
+    slug = "".join(c for c in text.lower() if c.isalnum() or c in " -")
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def parse(path):
+    """Returns (anchors, links) for one markdown file; links are
+    (line_number, raw_target) with code fences skipped."""
+    anchors = set()
+    links = []
+    seen = {}
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(slugify(m.group(2), seen))
+        for link in LINK_RE.findall(line):
+            links.append((lineno, link))
+    return anchors, links
+
+
+def main(argv):
+    files = []
+    for arg in argv[1:]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"check_doc_links: no such file: {arg}", file=sys.stderr)
+            return 2
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    parsed = {p.resolve(): parse(p) for p in files}
+    errors = []
+    for path in files:
+        _, links = parsed[path.resolve()]
+        for lineno, target in links:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            where = f"{path}:{lineno}"
+            base, _, fragment = target.partition("#")
+            dest = path.resolve() if not base else \
+                (path.parent / base).resolve()
+            if base and not dest.exists():
+                errors.append(f"{where}: broken link target: {target}")
+                continue
+            if not fragment:
+                continue
+            if dest.suffix != ".md":
+                continue  # anchors into non-markdown files: not checked
+            if dest not in parsed:
+                parsed[dest] = parse(dest)
+            anchors, _ = parsed[dest]
+            if fragment.lower() not in anchors:
+                errors.append(f"{where}: dangling anchor: {target}")
+        print(f"  [{'ok' if not any(e.startswith(str(path) + ':') for e in errors) else 'FAIL'}] "
+              f"{path} ({len(links)} links)")
+    for e in errors:
+        print(f"check_doc_links: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
