@@ -1,0 +1,194 @@
+// Live graphs: sustained edge ingest + concurrent queries over a
+// VersionedGraphStore-backed GraphService.
+//
+// bench_service measures the query service over a frozen graph; this
+// bench measures the live-graph path: an open-loop query stream races
+// a mutation stream through the same admission queue, the writer
+// publishes epoch snapshots, and every answer is exact on the version
+// it reports. Measured: query qps and latency under ingest, the
+// store's publish/repair counters, and the staleness window readers
+// actually observed (current version minus the answered snapshot's
+// version, sampled as each future is harvested — an upper bound, since
+// the version keeps advancing between resolution and harvest).
+//
+// Series param: deletes (0 = insert-only ingest, tracked levels repair
+// incrementally; 1 = churn with removals, every delete-containing batch
+// rebuilds tracked levels). CI guards the semantics via
+// check_bench_json.py: a deletes=0 series must report zero rebuilds,
+// and any series that moved edges (delta_edges > 0) must have published
+// snapshots.
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report.hpp"
+#include "runtime/prng.hpp"
+#include "runtime/timer.hpp"
+#include "service/graph_service.hpp"
+#include "stream/versioned_store.hpp"
+
+namespace {
+
+using namespace sge;
+using namespace sge::bench;
+using service::GraphService;
+using service::QueryResult;
+using service::ServiceOptions;
+
+constexpr int kQueries = 384;
+constexpr int kMutationEvery = 8;  // one mutation batch per N queries
+constexpr int kOpsPerBatch = 16;
+constexpr int kBurst = 32;  // arrivals per pacing tick
+
+double percentile(std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const auto rank =
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+}
+
+}  // namespace
+
+int main() {
+    banner("Live graphs: concurrent ingest + queries over epoch snapshots",
+           "streaming extension (paper SsVI conclusion)");
+
+    BenchReport report("bench_live", "live-graph service");
+    report.set_topology("emulated 2x2");
+    report.set_workload("rmat", scaled(1 << 12));
+
+    const std::uint64_t n = scaled(1 << 12);
+    const CsrGraph initial = rmat_graph(n, 4 * n, 33);
+
+    Table table({"deletes", "queries/s", "p50 ms", "p99 ms", "completed",
+                 "mutations", "published", "repair", "rebuilds", "stale p50",
+                 "stale max"});
+
+    for (const bool deletes : {false, true}) {
+        VersionedGraphStore store(initial);
+        store.track(0);  // tracked levels ride along with every publish
+
+        ServiceOptions options;
+        options.bfs.engine = BfsEngine::kBitmap;
+        options.bfs.threads = 4;
+        options.bfs.topology = Topology::emulate(2, 2, 1);
+        options.workers = 2;
+        options.queue_capacity = kQueries + kQueries / kMutationEvery;
+        options.batch_window_seconds = 0.0005;
+        GraphService svc(store, options);
+
+        // Removals target edges known to exist (previously ingested),
+        // so a churn series really exercises the rebuild path instead
+        // of no-op removes.
+        Xoshiro256 rng(424242);
+        std::vector<std::pair<vertex_t, vertex_t>> ingested;
+        std::vector<std::future<QueryResult>> queries;
+        std::vector<std::future<QueryResult>> mutations;
+        queries.reserve(kQueries);
+
+        WallTimer timer;
+        for (int i = 0; i < kQueries; ++i) {
+            if (i % kMutationEvery == 0) {
+                MutationBatch batch;
+                for (int k = 0; k < kOpsPerBatch; ++k) {
+                    if (deletes && !ingested.empty() &&
+                        rng.next_below(4) == 0) {
+                        const std::size_t pick =
+                            rng.next_below(ingested.size());
+                        const auto [u, v] = ingested[pick];
+                        ingested[pick] = ingested.back();
+                        ingested.pop_back();
+                        batch.remove(u, v);
+                    } else {
+                        const auto u = static_cast<vertex_t>(
+                            rng.next_below(store.num_vertices()));
+                        const auto v = static_cast<vertex_t>(
+                            rng.next_below(store.num_vertices()));
+                        batch.insert(u, v);
+                        ingested.emplace_back(u, v);
+                    }
+                }
+                mutations.push_back(
+                    svc.submit_mutation(std::move(batch)).result);
+            }
+            const auto root = static_cast<vertex_t>(
+                rng.next_below(store.num_vertices()));
+            queries.push_back(svc.submit(root).result);
+            if ((i + 1) % kBurst == 0)
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+
+        std::vector<double> latencies_ms;
+        std::vector<double> staleness;
+        latencies_ms.reserve(queries.size());
+        for (auto& f : queries) {
+            const QueryResult r = f.get();
+            latencies_ms.push_back(r.latency_seconds() * 1e3);
+            if (r.answered())
+                staleness.push_back(static_cast<double>(
+                    store.version() - r.snapshot_version));
+        }
+        const double seconds = timer.seconds();
+        for (auto& f : mutations) (void)f.get();
+        svc.stop();
+
+        std::sort(latencies_ms.begin(), latencies_ms.end());
+        std::sort(staleness.begin(), staleness.end());
+        const double qps = seconds > 0 ? kQueries / seconds : 0.0;
+        const double p50 = percentile(latencies_ms, 0.50);
+        const double p99 = percentile(latencies_ms, 0.99);
+        const double stale_p50 = percentile(staleness, 0.50);
+        const double stale_max = staleness.empty() ? 0.0 : staleness.back();
+
+        const auto& c = svc.counters();
+        const auto& sc = store.counters();
+        table.add_row({deletes ? "on" : "off", fmt("%.0f", qps),
+                       fmt("%.3f", p50), fmt("%.3f", p99),
+                       fmt_u64(c.completed.load()),
+                       fmt_u64(c.mutations.load()),
+                       fmt_u64(sc.snapshots_published.load()),
+                       fmt_u64(sc.repair_touched.load()),
+                       fmt_u64(sc.rebuilds.load()), fmt("%.0f", stale_p50),
+                       fmt("%.0f", stale_max)});
+
+        report.add(
+            std::string("rmat/") + (deletes ? "churn" : "insert_only"),
+            {{"vertices", static_cast<std::int64_t>(store.num_vertices())},
+             {"workers", options.workers},
+             {"threads", options.bfs.threads},
+             {"deletes", deletes ? 1 : 0}},
+            {{"queries_per_second", qps},
+             {"p50_ms", p50},
+             {"p99_ms", p99},
+             {"completed", static_cast<double>(c.completed.load())},
+             {"degraded", static_cast<double>(c.degraded.load())},
+             {"cancelled", static_cast<double>(c.cancelled.load())},
+             {"shed", static_cast<double>(c.shed.load())},
+             {"mutations", static_cast<double>(c.mutations.load())},
+             {"snapshots_published",
+              static_cast<double>(sc.snapshots_published.load())},
+             {"delta_edges", static_cast<double>(sc.delta_edges.load())},
+             {"repair_touched",
+              static_cast<double>(sc.repair_touched.load())},
+             {"rebuilds", static_cast<double>(sc.rebuilds.load())},
+             {"snapshots_reclaimed",
+              static_cast<double>(sc.snapshots_reclaimed.load())},
+             {"staleness_p50", stale_p50},
+             {"staleness_max", stale_max}});
+    }
+
+    table.print();
+    std::printf(
+        "\n%d open-loop queries racing one %d-op mutation batch per %d "
+        "arrivals through the same\nadmission queue. staleness = versions "
+        "behind the writer when the answer was harvested.\n",
+        kQueries, kOpsPerBatch, kMutationEvery);
+    report.write();
+    return 0;
+}

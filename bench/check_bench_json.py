@@ -33,7 +33,11 @@ Comparing a file against itself exercises only these intra-file guards.
 Independently of any baseline, a series whose params carry "faults"=0
 (bench_service clean runs) must report zero "degraded" and zero "shed"
 requests — degradation and shedding are fault responses, never
-steady-state behaviour.
+steady-state behaviour. Likewise a series whose params carry
+"deletes"=0 (bench_live insert-only ingest) must report zero
+"rebuilds" — insert-only traffic repairs tracked levels incrementally —
+and any series with "delta_edges" > 0 must have "snapshots_published"
+> 0, since an unpublished delta is invisible to every reader.
 
 The schema itself is documented in docs/OBSERVABILITY.md.
 """
@@ -85,6 +89,23 @@ def check_entry(errors, path, i, entry):
             fail(errors, path, f"{where}.metrics.{k} is negative: {v!r}")
 
     # Semantic spot checks per series flavour.
+    if params.get("deletes") == 0 and metrics.get("rebuilds"):
+        # Insert-only ingest (bench_live) repairs tracked levels through
+        # incremental waves; a rebuild there means the repair path was
+        # bypassed.
+        fail(errors, path,
+             f"{where} ({name}): rebuilds={metrics['rebuilds']!r} in a "
+             f"deletes=0 series (insert-only ingest must repair, not rebuild)")
+    if metrics.get("delta_edges") and not metrics.get("snapshots_published"):
+        # Edges changed but no snapshot was published: readers could
+        # never observe the delta.
+        fail(errors, path,
+             f"{where} ({name}): delta_edges={metrics['delta_edges']!r} "
+             f"with snapshots_published=0")
+    if "staleness_p50" in metrics and "staleness_max" in metrics:
+        if metrics["staleness_p50"] > metrics["staleness_max"]:
+            fail(errors, path,
+                 f"{where} ({name}): staleness_p50 > staleness_max")
     if params.get("faults") == 0:
         # A fault-free service run must not degrade or shed: both are
         # fault responses, never steady-state behaviour (bench_service).

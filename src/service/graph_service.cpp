@@ -36,9 +36,24 @@ struct GraphService::Worker {
 };
 
 GraphService::GraphService(const CsrGraph& g, ServiceOptions options)
-    : graph_(g),
+    : graph_(&g),
       options_(std::move(options)),
       queue_(options_.queue_capacity) {
+    start();
+}
+
+GraphService::GraphService(VersionedGraphStore& store, ServiceOptions options)
+    : store_(&store),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+    start();
+}
+
+vertex_t GraphService::graph_vertices() const noexcept {
+    return store_ != nullptr ? store_->num_vertices() : graph_->num_vertices();
+}
+
+void GraphService::start() {
     if (options_.workers < 1) options_.workers = 1;
     options_.batch_max_roots =
         std::clamp<std::size_t>(options_.batch_max_roots, 1, 64);
@@ -73,16 +88,41 @@ SubmitResult GraphService::submit(vertex_t root, double deadline_seconds) {
 }
 
 SubmitResult GraphService::submit(const QueryRequest& request) {
-    if (request.root >= graph_.num_vertices())
+    if (request.root >= graph_vertices())
         throw std::out_of_range("GraphService::submit: root out of range");
     counters_.submitted.fetch_add(1, std::memory_order_relaxed);
 
     auto item = std::make_shared<PendingQuery>();
     item->request = request;
     item->submitted = clock::now();
-    const double dl = request.deadline_seconds > 0.0
-                          ? request.deadline_seconds
-                          : options_.default_deadline_seconds;
+    return enqueue(item, request.deadline_seconds);
+}
+
+SubmitResult GraphService::submit_mutation(MutationBatch batch,
+                                           double deadline_seconds) {
+    if (store_ == nullptr)
+        throw std::logic_error(
+            "GraphService::submit_mutation: service is not store-backed "
+            "(construct it over a VersionedGraphStore)");
+    // Caller-bug validation happens here, like submit()'s root check,
+    // so the worker-side apply cannot throw out_of_range mid-batch.
+    for (const EdgeOp& op : batch.ops)
+        if (op.u >= store_->num_vertices() || op.v >= store_->num_vertices())
+            throw std::out_of_range(
+                "GraphService::submit_mutation: vertex out of range");
+    counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    auto item = std::make_shared<PendingQuery>();
+    item->kind = RequestKind::kMutation;
+    item->mutation = std::move(batch);
+    item->submitted = clock::now();
+    return enqueue(item, deadline_seconds);
+}
+
+SubmitResult GraphService::enqueue(const AdmissionQueue::Item& item,
+                                   double deadline_seconds) {
+    const double dl = deadline_seconds > 0.0 ? deadline_seconds
+                                             : options_.default_deadline_seconds;
     if (dl > 0.0) {
         item->has_deadline = true;
         item->deadline =
@@ -108,7 +148,7 @@ SubmitResult GraphService::submit(const QueryRequest& request) {
     } else {
         QueryResult r;
         r.outcome = Outcome::kShed;
-        r.root = request.root;
+        r.root = item->request.root;
         resolve(item, std::move(r));
     }
     return out;
@@ -159,10 +199,12 @@ void GraphService::worker_loop(Worker& w) {
     // the first real query pays only the epoch-bump reset. Failures
     // (injected faults during chaos runs) are harmless — the lazy
     // prepare inside run_into covers it.
-    if (w.runner && graph_.num_vertices() > 0) {
+    if (w.runner && graph_vertices() > 0) {
         try {
             w.token.reset();
-            w.runner->run_into(w.scratch, graph_, 0);
+            const SnapshotRef pin =
+                store_ != nullptr ? store_->acquire() : SnapshotRef{};
+            w.runner->run_into(w.scratch, pin ? pin.graph() : *graph_, 0);
         } catch (...) {
         }
     }
@@ -211,11 +253,48 @@ void GraphService::process_batch(Worker& w,
     }
     if (live.empty()) return;
 
-    if (options_.batching && live.size() >= 2) {
-        run_wave(w, live);
-    } else {
-        for (const auto& item : live) run_single(w, item);
+    // Mutations apply before this batch's queries, so a query admitted
+    // together with (or after) a mutation observes the snapshot it
+    // published. Application is serialized by the store's writer mutex;
+    // with several workers the inter-batch order is whatever the pops
+    // interleave to, which the staleness contract already allows.
+    std::vector<AdmissionQueue::Item> queries;
+    queries.reserve(live.size());
+    for (const auto& item : live) {
+        if (item->kind == RequestKind::kMutation)
+            run_mutation(item);
+        else
+            queries.push_back(item);
     }
+    if (queries.empty()) return;
+
+    if (options_.batching && queries.size() >= 2) {
+        run_wave(w, queries);
+    } else {
+        for (const auto& item : queries) run_single(w, item);
+    }
+}
+
+void GraphService::run_mutation(const AdmissionQueue::Item& item) {
+    if (item->resolved) return;
+    QueryResult r;
+    r.root = item->request.root;
+    if (item->expired(clock::now())) {
+        r.outcome = Outcome::kCancelled;
+        resolve(item, std::move(r));
+        return;
+    }
+    try {
+        r.snapshot_version = store_->apply(item->mutation);
+        r.outcome = Outcome::kCompleted;
+        counters_.mutations.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception&) {
+        // Ids were validated at submit, so this is resource exhaustion
+        // or similar; the batch was not applied (the store validates
+        // before mutating). The future still resolves.
+        r.outcome = Outcome::kFailed;
+    }
+    resolve(item, std::move(r));
 }
 
 void GraphService::run_wave(Worker& w,
@@ -260,7 +339,14 @@ void GraphService::run_wave(Worker& w,
         }
     if (any_deadline) w.token.set_deadline(min_deadline);
 
-    const std::size_t n = graph_.num_vertices();
+    // One pin for the whole wave: every member answers against the
+    // same published version (exact on that snapshot, stale by however
+    // many batches publish while the wave runs).
+    const SnapshotRef pin =
+        store_ != nullptr ? store_->acquire() : SnapshotRef{};
+    const CsrGraph& graph = pin ? pin.graph() : *graph_;
+
+    const std::size_t n = graph.num_vertices();
     w.lane_levels.resize(roots.size());
     for (std::size_t l = 0; l < roots.size(); ++l)
         w.lane_levels[l].assign(n, kInvalidLevel);
@@ -284,7 +370,7 @@ void GraphService::run_wave(Worker& w,
     };
 
     try {
-        multi_source_bfs(graph_, roots, visitor, mo);
+        multi_source_bfs(graph, roots, visitor, mo);
     } catch (const BfsDeadlineError& e) {
         // Wave cancelled (tightest deadline fired): expired members are
         // done; the rest get an individual run with their own slack.
@@ -335,6 +421,7 @@ void GraphService::run_wave(Worker& w,
         r.outcome = Outcome::kCompleted;
         r.root = batch[i]->request.root;
         r.batched = true;
+        r.snapshot_version = pin ? pin.version() : 0;
         r.level = lanes[lane];  // copy: each caller owns its answer
         r.vertices_visited = lane_summary[lane].first;
         r.num_levels = lane_summary[lane].second;
@@ -362,8 +449,12 @@ void GraphService::run_single(Worker& w, const AdmissionQueue::Item& item) {
     if (hard_cancel_.load(std::memory_order_acquire)) w.token.cancel();
     if (item->has_deadline) w.token.set_deadline(item->deadline);
 
+    const SnapshotRef pin =
+        store_ != nullptr ? store_->acquire() : SnapshotRef{};
+
     try {
-        w.runner->run_into(w.scratch, graph_, item->request.root);
+        w.runner->run_into(w.scratch, pin ? pin.graph() : *graph_,
+                           item->request.root);
     } catch (const BfsDeadlineError& e) {
         if (e.cancelled()) {
             QueryResult r;
@@ -384,6 +475,7 @@ void GraphService::run_single(Worker& w, const AdmissionQueue::Item& item) {
     QueryResult r;
     r.outcome = Outcome::kCompleted;
     r.root = item->request.root;
+    r.snapshot_version = pin ? pin.version() : 0;
     r.level = w.scratch.level;  // copy: the scratch is reused
     r.vertices_visited = w.scratch.vertices_visited;
     r.num_levels = w.scratch.num_levels;
@@ -392,6 +484,14 @@ void GraphService::run_single(Worker& w, const AdmissionQueue::Item& item) {
 
 void GraphService::run_degraded(Worker& w, const AdmissionQueue::Item& item) {
     if (item->resolved) return;
+    if (item->kind == RequestKind::kMutation) {
+        // A faulted dispatch loop retries mutations here too: apply is
+        // idempotent per item (resolved mutations return immediately)
+        // and has no injected fault sites, so the batch lands exactly
+        // once or resolves kFailed.
+        run_mutation(item);
+        return;
+    }
     const auto now = clock::now();
     if (item->expired(now)) {
         QueryResult r;
@@ -411,11 +511,16 @@ void GraphService::run_degraded(Worker& w, const AdmissionQueue::Item& item) {
     so.compute_levels = true;
     so.cancel = &w.token;
 
+    const SnapshotRef pin =
+        store_ != nullptr ? store_->acquire() : SnapshotRef{};
+
     QueryResult r;
     r.root = item->request.root;
     try {
-        const BfsResult res = bfs(graph_, item->request.root, so);
+        const BfsResult res =
+            bfs(pin ? pin.graph() : *graph_, item->request.root, so);
         r.outcome = Outcome::kDegraded;
+        r.snapshot_version = pin ? pin.version() : 0;
         r.level = res.level;
         r.vertices_visited = res.vertices_visited;
         r.num_levels = res.num_levels;

@@ -3,7 +3,11 @@
 // GraphService — a long-lived, fault-tolerant concurrent BFS query
 // service over one CsrGraph (the ROADMAP's "service that survives
 // heavy traffic" north star; see docs/ROBUSTNESS.md "Service
-// guarantees").
+// guarantees"), or — constructed over a VersionedGraphStore — over a
+// live graph: queries pin an immutable published snapshot for their
+// whole run while submit_mutation() feeds edge batches through the
+// same admission queue, so updates and traversals never block each
+// other and every answer is exact on some published version.
 //
 // Shape: submit() is non-blocking and pushes into a bounded
 // AdmissionQueue (full queue => the request is shed with an explicit
@@ -44,6 +48,7 @@
 #include "graph/csr_graph.hpp"
 #include "service/admission.hpp"
 #include "service/request.hpp"
+#include "stream/versioned_store.hpp"
 
 namespace sge::service {
 
@@ -105,6 +110,9 @@ struct ServiceCounters {
     /// workers that could not rebuild and fell back to serial-only.
     std::atomic<std::uint64_t> worker_restarts{0};
     std::atomic<std::uint64_t> serial_fallbacks{0};
+    /// Mutation batches applied to the backing store (store-backed
+    /// services only; a subset of completed).
+    std::atomic<std::uint64_t> mutations{0};
 
     [[nodiscard]] std::uint64_t resolved() const noexcept {
         return completed.load() + degraded.load() + cancelled.load() +
@@ -118,6 +126,13 @@ class GraphService {
     /// service.
     explicit GraphService(const CsrGraph& g, ServiceOptions options = {});
 
+    /// Live-graph mode: queries pin a published snapshot from `store`
+    /// for their whole run (a wave's members all answer against the
+    /// same version), and submit_mutation() feeds edge batches through
+    /// the same admission queue. The store must outlive the service.
+    explicit GraphService(VersionedGraphStore& store,
+                          ServiceOptions options = {});
+
     /// Equivalent to stop().
     ~GraphService();
 
@@ -130,6 +145,21 @@ class GraphService {
     /// outcome. `deadline_seconds` <= 0 selects the service default.
     SubmitResult submit(vertex_t root, double deadline_seconds = 0.0);
     SubmitResult submit(const QueryRequest& request);
+
+    /// Non-blocking mutation submission (store-backed services only;
+    /// throws std::logic_error otherwise, std::out_of_range for bad
+    /// vertex ids — caller bugs, not service outcomes). Resolves
+    /// kCompleted with QueryResult::snapshot_version = the version the
+    /// batch published, kShed under backpressure, kCancelled when a
+    /// deadline or shutdown drain fired first — mutations ride the same
+    /// bounded AdmissionQueue and zero-lost-requests invariant as
+    /// queries. Workers serialize application through the store's
+    /// writer mutex, so multi-worker services stay single-writer.
+    SubmitResult submit_mutation(MutationBatch batch,
+                                 double deadline_seconds = 0.0);
+
+    /// True when this service runs over a VersionedGraphStore.
+    [[nodiscard]] bool live() const noexcept { return store_ != nullptr; }
 
     /// Drains and joins: closes admission, waits up to
     /// ServiceOptions::drain_seconds for queued + in-flight work, then
@@ -157,15 +187,23 @@ class GraphService {
   private:
     struct Worker;
 
+    void start();
+    SubmitResult enqueue(const AdmissionQueue::Item& item,
+                         double deadline_seconds);
     void worker_loop(Worker& w);
     void process_batch(Worker& w, std::vector<AdmissionQueue::Item>& batch);
     void run_wave(Worker& w, std::vector<AdmissionQueue::Item>& batch);
     void run_single(Worker& w, const AdmissionQueue::Item& item);
     void run_degraded(Worker& w, const AdmissionQueue::Item& item);
+    void run_mutation(const AdmissionQueue::Item& item);
     void resolve(const AdmissionQueue::Item& item, QueryResult result);
     void rebuild_runner(Worker& w);
+    [[nodiscard]] vertex_t graph_vertices() const noexcept;
 
-    const CsrGraph& graph_;
+    /// Exactly one of these is set: a static graph (graph_) or a live
+    /// store (store_) whose snapshots queries pin per run.
+    const CsrGraph* graph_ = nullptr;
+    VersionedGraphStore* store_ = nullptr;
     ServiceOptions options_;
     AdmissionQueue queue_;
     ServiceCounters counters_;

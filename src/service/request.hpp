@@ -12,8 +12,15 @@
 
 #include "concurrency/cancel_token.hpp"
 #include "graph/types.hpp"
+#include "stream/versioned_store.hpp"
 
 namespace sge::service {
+
+/// What a pending request asks the service to do. Queries run a BFS
+/// against the current (or, store-backed, a pinned) graph; mutations
+/// apply a MutationBatch to the backing VersionedGraphStore and
+/// publish the next snapshot version.
+enum class RequestKind : std::uint8_t { kQuery, kMutation };
 
 /// Terminal state of one submitted query. Every submit() resolves to
 /// exactly one of these — the service never loses a request.
@@ -76,6 +83,13 @@ struct QueryResult {
     /// True when the answer came from a coalesced MS-BFS wave.
     bool batched = false;
 
+    /// Store-backed services only: for queries, the version of the
+    /// pinned snapshot the answer was computed on (the staleness window
+    /// at resolution is store.version() - snapshot_version); for
+    /// mutations, the version this batch published. 0 for a service
+    /// over a static CsrGraph.
+    std::uint64_t snapshot_version = 0;
+
     /// Partial progress of a cancelled run (BfsDeadlineError passthrough;
     /// zero otherwise).
     std::uint32_t level_reached = 0;
@@ -112,7 +126,10 @@ struct SubmitResult {
 struct PendingQuery {
     using clock = CancelToken::clock;
 
+    RequestKind kind = RequestKind::kQuery;
     QueryRequest request;
+    /// The edge ops of a kMutation request (empty for queries).
+    MutationBatch mutation;
     std::promise<QueryResult> promise;
     clock::time_point submitted{};
     /// Stamped by the worker that picked the batch up (wait vs run time

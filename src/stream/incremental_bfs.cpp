@@ -11,11 +11,21 @@ IncrementalBfs::IncrementalBfs(const DynamicGraph& graph, vertex_t root)
     rebuild();
 }
 
+void IncrementalBfs::check_sync() const {
+    if (observed_version_ != graph_.version())
+        throw std::logic_error(
+            "IncrementalBfs: graph mutated without notification (levels "
+            "would be stale) — call on_edge_added/on_vertex_added for "
+            "insertions, rebuild() after removals");
+}
+
 void IncrementalBfs::rebuild() {
     const vertex_t n = graph_.num_vertices();
     level_.assign(n, kInvalidLevel);
     parent_.assign(n, kInvalidVertex);
     reached_ = 0;
+    stats_ = RepairStats{};
+    observed_version_ = graph_.version();
 
     std::vector<vertex_t> queue{root_};
     level_[root_] = 0;
@@ -37,53 +47,82 @@ void IncrementalBfs::on_vertex_added() {
     while (level_.size() < graph_.num_vertices()) {
         level_.push_back(kInvalidLevel);
         parent_.push_back(kInvalidVertex);
+        ++observed_version_;  // one add_vertex mutation per appended slot
     }
 }
 
-void IncrementalBfs::bfs_wave(std::vector<vertex_t>& queue,
-                              std::size_t& changed) {
-    // Standard decrease-only relaxation wave: a vertex enters the queue
-    // when its level just dropped; its neighbours re-check.
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-        const vertex_t u = queue[head];
-        for (const vertex_t v : graph_.neighbors(u)) {
-            const level_t candidate = level_[u] + 1;
-            if (level_[v] != kInvalidLevel && level_[v] <= candidate) continue;
-            if (level_[v] == kInvalidLevel) ++reached_;
-            level_[v] = candidate;
-            parent_[v] = u;
+/// Tries to lower `to` through the (new or re-examined) arc from ->
+/// to; enqueues `to` with its new level on success.
+bool IncrementalBfs::seed(vertex_t from, vertex_t to) {
+    if (level_[from] == kInvalidLevel) return false;
+    const level_t candidate = level_[from] + 1;
+    if (level_[to] != kInvalidLevel && level_[to] <= candidate) return false;
+    if (level_[to] == kInvalidLevel) ++reached_;
+    level_[to] = candidate;
+    parent_[to] = from;
+    queue_.push_back({to, candidate});
+    ++stats_.enqueued;
+    return true;
+}
+
+void IncrementalBfs::bfs_wave(std::size_t& changed) {
+    // Decrease-only relaxation wave: a vertex enters the queue when its
+    // level just dropped; its neighbours re-check. An entry whose
+    // vertex improved again after enqueue is stale — the better entry
+    // is (or was) in the queue too, so the stale one is dropped without
+    // rescanning the adjacency. With mixed-level seeds (batched
+    // insertions) this is what keeps cascading repairs linear in edges
+    // actually re-examined instead of quadratic in the repair region.
+    ++stats_.waves;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+        const WaveEntry e = queue_[head];
+        if (level_[e.v] != e.enqueue_level) {
+            ++stats_.stale_skips;
+            continue;
+        }
+        const auto neighbors = graph_.neighbors(e.v);
+        stats_.edges_scanned += neighbors.size();
+        const level_t candidate = e.enqueue_level + 1;
+        for (const vertex_t w : neighbors) {
+            if (level_[w] != kInvalidLevel && level_[w] <= candidate) continue;
+            if (level_[w] == kInvalidLevel) ++reached_;
+            level_[w] = candidate;
+            parent_[w] = e.v;
             ++changed;
-            queue.push_back(v);
+            queue_.push_back({w, candidate});
+            ++stats_.enqueued;
         }
     }
-    queue.clear();
+    queue_.clear();
 }
 
 std::size_t IncrementalBfs::on_edge_added(vertex_t u, vertex_t v) {
-    if (u >= level_.size() || v >= level_.size())
-        throw std::out_of_range("IncrementalBfs: endpoint out of range "
-                                "(did you call on_vertex_added?)");
+    const std::pair<vertex_t, vertex_t> edge[] = {{u, v}};
+    return on_edges_added(edge);
+}
 
-    const bool u_reached = level_[u] != kInvalidLevel;
-    const bool v_reached = level_[v] != kInvalidLevel;
-    if (!u_reached && !v_reached) return 0;  // still disconnected from root
+std::size_t IncrementalBfs::on_edges_added(
+    std::span<const std::pair<vertex_t, vertex_t>> edges) {
+    for (const auto& [u, v] : edges)
+        if (u >= level_.size() || v >= level_.size())
+            throw std::out_of_range(
+                "IncrementalBfs: endpoint out of range "
+                "(did you call on_vertex_added?)");
+    observed_version_ += edges.size();
+    if (observed_version_ > graph_.version())
+        throw std::logic_error(
+            "IncrementalBfs: notified of more insertions than the graph "
+            "has mutations");
 
+    // Seed every improvable endpoint, then run ONE wave over all of
+    // them: overlapping repair regions coalesce, and the stale-entry
+    // skip drops whichever seeds a better seed already superseded.
     std::size_t changed = 0;
-    std::vector<vertex_t> queue;
-    if (u_reached && (!v_reached || level_[u] + 1 < level_[v])) {
-        if (!v_reached) ++reached_;
-        level_[v] = level_[u] + 1;
-        parent_[v] = u;
-        ++changed;
-        queue.push_back(v);
-    } else if (v_reached && (!u_reached || level_[v] + 1 < level_[u])) {
-        if (!u_reached) ++reached_;
-        level_[u] = level_[v] + 1;
-        parent_[u] = v;
-        ++changed;
-        queue.push_back(u);
+    for (const auto& [u, v] : edges) {
+        if (seed(u, v)) ++changed;
+        if (seed(v, u)) ++changed;
     }
-    if (!queue.empty()) bfs_wave(queue, changed);
+    if (!queue_.empty()) bfs_wave(changed);
     return changed;
 }
 

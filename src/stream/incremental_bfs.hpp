@@ -1,11 +1,25 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "stream/dynamic_graph.hpp"
 
 namespace sge {
+
+/// Work accounting of the repair waves (cumulative since construction /
+/// last rebuild). `stale_skips` counts queue entries abandoned because
+/// the vertex's level improved again after it was enqueued — without
+/// the skip each such entry would rescan the vertex's full adjacency,
+/// which is what made dense repair regions quadratic.
+struct RepairStats {
+    std::uint64_t waves = 0;        ///< repair waves run
+    std::uint64_t enqueued = 0;     ///< queue entries pushed
+    std::uint64_t stale_skips = 0;  ///< entries dropped without a rescan
+    std::uint64_t edges_scanned = 0;///< adjacency entries examined
+};
 
 /// Incrementally-maintained BFS levels from a fixed root under edge
 /// insertions — the streaming companion to the batch engines: after
@@ -17,10 +31,18 @@ namespace sge {
 /// (level[u] + 1 < level[v] or vice versa), lower it and propagate the
 /// improvement as a BFS wave that only touches vertices whose level
 /// actually decreases — each vertex can decrease at most `levels`
-/// times over the whole stream, bounding the total work.
+/// times over the whole stream, bounding the total work. Queue entries
+/// record the level at enqueue time; an entry whose vertex has since
+/// improved further is skipped without rescanning its adjacency.
 ///
 /// Deletions are out of scope (level *increases* need the full
-/// decremental machinery); call rebuild() after removals.
+/// decremental machinery): call rebuild() after removals. This is
+/// enforced, not advisory — the object records DynamicGraph::version()
+/// as it observes mutations, and any query across an unobserved
+/// mutation throws std::logic_error instead of silently answering from
+/// stale levels. (Throwing was chosen over auto-rebuild: the mismatch
+/// is a caller bug, and a silent rebuild would hide the missing
+/// notification while turning an O(1) accessor into an O(n + m) walk.)
 class IncrementalBfs {
   public:
     /// Captures the current state of `graph` and computes initial
@@ -32,34 +54,78 @@ class IncrementalBfs {
     /// level changed.
     std::size_t on_edge_added(vertex_t u, vertex_t v);
 
+    /// Batched form: notify that every edge in `edges` has been
+    /// inserted (call after the add_edge calls). All improved endpoints
+    /// seed one repair wave, so a batch of shortcuts into the same
+    /// region is repaired in one cascade instead of `edges.size()`
+    /// overlapping ones. Returns the number of vertices whose level
+    /// changed.
+    std::size_t on_edges_added(
+        std::span<const std::pair<vertex_t, vertex_t>> edges);
+
     /// Notify that a vertex was appended (add_vertex); it starts
-    /// unreached.
+    /// unreached. Covers every vertex appended since the last
+    /// notification.
     void on_vertex_added();
 
-    /// Recomputes from scratch (after deletions or bulk edits).
+    /// Recomputes from scratch (after deletions or bulk edits) and
+    /// re-syncs with the graph's current mutation version.
     void rebuild();
 
+    /// True when every graph mutation has been observed (via the
+    /// on_* hooks or rebuild()); queries throw when this is false.
+    [[nodiscard]] bool in_sync() const noexcept {
+        return observed_version_ == graph_.version();
+    }
+
     [[nodiscard]] vertex_t root() const noexcept { return root_; }
-    [[nodiscard]] level_t level(vertex_t v) const { return level_.at(v); }
-    [[nodiscard]] vertex_t parent(vertex_t v) const { return parent_.at(v); }
+    [[nodiscard]] level_t level(vertex_t v) const {
+        check_sync();
+        return level_.at(v);
+    }
+    [[nodiscard]] vertex_t parent(vertex_t v) const {
+        check_sync();
+        return parent_.at(v);
+    }
     [[nodiscard]] bool reached(vertex_t v) const {
+        check_sync();
         return level_.at(v) != kInvalidLevel;
     }
-    [[nodiscard]] std::uint64_t reached_count() const noexcept {
+    [[nodiscard]] std::uint64_t reached_count() const {
+        check_sync();
         return reached_;
     }
-    [[nodiscard]] const std::vector<level_t>& levels() const noexcept {
+    [[nodiscard]] const std::vector<level_t>& levels() const {
+        check_sync();
         return level_;
     }
 
+    /// Cumulative repair-wave work counters (reset by rebuild()).
+    [[nodiscard]] const RepairStats& repair_stats() const noexcept {
+        return stats_;
+    }
+
   private:
-    void bfs_wave(std::vector<vertex_t>& queue, std::size_t& changed);
+    /// A pending repair: `v` entered the queue when its level dropped
+    /// to `enqueue_level`; if level_[v] has improved further since, the
+    /// entry is stale and is skipped.
+    struct WaveEntry {
+        vertex_t v;
+        level_t enqueue_level;
+    };
+
+    void check_sync() const;
+    bool seed(vertex_t from, vertex_t to);  // try lower `to` via `from`
+    void bfs_wave(std::size_t& changed);
 
     const DynamicGraph& graph_;
     vertex_t root_;
     std::vector<level_t> level_;
     std::vector<vertex_t> parent_;
+    std::vector<WaveEntry> queue_;  // reused across waves
     std::uint64_t reached_ = 0;
+    std::uint64_t observed_version_ = 0;
+    RepairStats stats_;
 };
 
 }  // namespace sge

@@ -1,0 +1,238 @@
+#include "stream/versioned_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace sge {
+
+namespace {
+
+/// Normalized undirected-edge key for batch compaction.
+[[nodiscard]] std::uint64_t edge_key(vertex_t u, vertex_t v) noexcept {
+    const vertex_t lo = u < v ? u : v;
+    const vertex_t hi = u < v ? v : u;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+VersionedGraphStore::VersionedGraphStore(const CsrGraph& initial,
+                                         StoreOptions options)
+    : num_vertices_(initial.num_vertices()),
+      options_(options),
+      working_(initial) {
+    std::lock_guard guard(writer_mutex_);
+    publish_locked();
+}
+
+VersionedGraphStore::VersionedGraphStore(vertex_t num_vertices,
+                                         StoreOptions options)
+    : num_vertices_(num_vertices), options_(options), working_(num_vertices) {
+    std::lock_guard guard(writer_mutex_);
+    publish_locked();
+}
+
+SnapshotRef VersionedGraphStore::acquire() const {
+    std::lock_guard guard(pin_mutex_);
+    // The bump can be relaxed: the mutex orders it against any publish,
+    // and the matching release/acquire pair lives on the unpin side.
+    current_->pins.fetch_add(1, std::memory_order_relaxed);
+    return SnapshotRef(current_.get());
+}
+
+std::size_t VersionedGraphStore::live_snapshots() const {
+    std::lock_guard guard(pin_mutex_);
+    return (current_ ? 1 : 0) + retired_.size();
+}
+
+std::size_t VersionedGraphStore::reclaim() {
+    std::lock_guard guard(pin_mutex_);
+    return reclaim_pins_locked();
+}
+
+std::size_t VersionedGraphStore::reclaim_pins_locked() {
+    // Safe sweep: a retired snapshot can never gain pins (acquire()
+    // only pins current_, under this same mutex), so pins == 0 here is
+    // final. The acquire load pairs with SnapshotRef::release()'s
+    // fetch_sub(release): every reader access happens-before the free.
+    const auto dead = std::remove_if(
+        retired_.begin(), retired_.end(), [](const auto& snap) {
+            return snap->pins.load(std::memory_order_acquire) == 0;
+        });
+    const auto freed = static_cast<std::size_t>(retired_.end() - dead);
+    retired_.erase(dead, retired_.end());
+    counters_.snapshots_reclaimed.fetch_add(freed, std::memory_order_relaxed);
+    return freed;
+}
+
+void VersionedGraphStore::publish_locked() {
+    auto snap = std::make_unique<detail::GraphSnapshot>();
+    snap->graph = working_.snapshot();
+    snap->version = published_version_.load(std::memory_order_relaxed) + 1;
+
+    {
+        std::lock_guard guard(pin_mutex_);
+        if (current_ != nullptr) {
+            retired_.push_back(std::move(current_));
+            counters_.snapshots_retired.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        current_ = std::move(snap);
+        // Version becomes visible before the pin lock drops, so a
+        // reader can never acquire() a snapshot newer than version().
+        published_version_.store(current_->version,
+                                 std::memory_order_release);
+        reclaim_pins_locked();
+    }
+    counters_.snapshots_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t VersionedGraphStore::apply(const MutationBatch& batch) {
+    std::lock_guard guard(writer_mutex_);
+    return apply_locked(batch);
+}
+
+std::uint64_t VersionedGraphStore::apply_locked(const MutationBatch& batch) {
+    // Validate everything up front: a bad id must not leave the batch
+    // half-applied (readers would never see it — publish is atomic —
+    // but the writer's working state would diverge from the ops log).
+    for (const EdgeOp& op : batch.ops)
+        if (op.u >= num_vertices_ || op.v >= num_vertices_)
+            throw std::out_of_range(
+                "VersionedGraphStore: edge op vertex out of range");
+
+    // Compact: a remove cancels a pending in-batch insert of the same
+    // edge (exact under multiset semantics — net copies are equal —
+    // and it keeps cancelled churn out of the repair waves). A remove
+    // with no pending insert stays: it targets a pre-existing copy.
+    std::vector<char> cancelled(batch.ops.size(), 0);
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> pending;
+    for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+        const EdgeOp& op = batch.ops[i];
+        const std::uint64_t key = edge_key(op.u, op.v);
+        if (op.kind == EdgeOp::Kind::kInsert) {
+            pending[key].push_back(i);
+        } else if (auto it = pending.find(key);
+                   it != pending.end() && !it->second.empty()) {
+            cancelled[it->second.back()] = 1;
+            cancelled[i] = 1;
+            it->second.pop_back();
+            counters_.noop_ops.fetch_add(2, std::memory_order_relaxed);
+        }
+    }
+
+    std::vector<std::pair<vertex_t, vertex_t>> inserted;
+    std::uint64_t removed = 0;
+    for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+        if (cancelled[i]) continue;
+        const EdgeOp& op = batch.ops[i];
+        if (op.kind == EdgeOp::Kind::kInsert) {
+            working_.add_edge(op.u, op.v);
+            inserted.emplace_back(op.u, op.v);
+        } else if (working_.remove_edge(op.u, op.v)) {
+            ++removed;
+        } else {
+            counters_.noop_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    if (!batch.ops.empty())
+        counters_.batches_applied.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t delta = inserted.size() + removed;
+    if (delta == 0) return version();  // nothing changed: no new epoch
+    counters_.delta_edges.fetch_add(delta, std::memory_order_relaxed);
+
+    // Level maintenance before publish, so tracked levels and the new
+    // snapshot change together: insert-only batches repair through one
+    // multi-seed wave per root; anything with a delete rebuilds (level
+    // increases are outside the decrease-only repair).
+    if (removed > 0) {
+        for (auto& [root, ibfs] : tracked_) {
+            ibfs->rebuild();
+            counters_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+        }
+    } else {
+        for (auto& [root, ibfs] : tracked_) {
+            const std::size_t touched = ibfs->on_edges_added(inserted);
+            counters_.repair_touched.fetch_add(touched,
+                                               std::memory_order_relaxed);
+        }
+    }
+
+    publish_locked();
+    return version();
+}
+
+void VersionedGraphStore::stage_insert(vertex_t u, vertex_t v) {
+    std::lock_guard guard(writer_mutex_);
+    if (u >= num_vertices_ || v >= num_vertices_)
+        throw std::out_of_range("VersionedGraphStore: vertex out of range");
+    if (staged_.empty()) first_staged_ = std::chrono::steady_clock::now();
+    staged_.insert(u, v);
+    maybe_flush_locked();
+}
+
+void VersionedGraphStore::stage_remove(vertex_t u, vertex_t v) {
+    std::lock_guard guard(writer_mutex_);
+    if (u >= num_vertices_ || v >= num_vertices_)
+        throw std::out_of_range("VersionedGraphStore: vertex out of range");
+    if (staged_.empty()) first_staged_ = std::chrono::steady_clock::now();
+    staged_.remove(u, v);
+    maybe_flush_locked();
+}
+
+void VersionedGraphStore::maybe_flush_locked() {
+    if (staged_.size() >= options_.batch_capacity) {
+        flush_locked();
+        return;
+    }
+    if (options_.flush_window_seconds > 0.0) {
+        const auto window = std::chrono::duration<double>(
+            options_.flush_window_seconds);
+        if (std::chrono::steady_clock::now() - first_staged_ >= window)
+            flush_locked();
+    }
+}
+
+std::uint64_t VersionedGraphStore::flush_locked() {
+    if (staged_.empty()) return version();
+    MutationBatch batch;
+    batch.ops.swap(staged_.ops);
+    return apply_locked(batch);
+}
+
+std::size_t VersionedGraphStore::staged() const {
+    std::lock_guard guard(writer_mutex_);
+    return staged_.size();
+}
+
+std::uint64_t VersionedGraphStore::flush() {
+    std::lock_guard guard(writer_mutex_);
+    return flush_locked();
+}
+
+void VersionedGraphStore::track(vertex_t root) {
+    std::lock_guard guard(writer_mutex_);
+    for (const auto& [r, ibfs] : tracked_)
+        if (r == root) return;  // idempotent
+    tracked_.emplace_back(root,
+                          std::make_unique<IncrementalBfs>(working_, root));
+}
+
+void VersionedGraphStore::untrack(vertex_t root) {
+    std::lock_guard guard(writer_mutex_);
+    std::erase_if(tracked_,
+                  [root](const auto& entry) { return entry.first == root; });
+}
+
+std::vector<level_t> VersionedGraphStore::tracked_levels(vertex_t root) const {
+    std::lock_guard guard(writer_mutex_);
+    for (const auto& [r, ibfs] : tracked_)
+        if (r == root) return ibfs->levels();
+    throw std::invalid_argument(
+        "VersionedGraphStore: root is not tracked (call track() first)");
+}
+
+}  // namespace sge

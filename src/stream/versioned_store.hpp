@@ -1,0 +1,288 @@
+#pragma once
+
+// VersionedGraphStore — epoch-snapshot graph versioning for live
+// graphs: one writer applies batched edge inserts/deletes to a
+// DynamicGraph and publishes immutable CsrGraph snapshots; any number
+// of concurrent readers pin a snapshot and traverse it while the next
+// version is being built. This extends the epoch idiom of
+// concurrency/versioned_bitmap.hpp from per-word visited state to
+// whole-graph versions: a published snapshot is immutable forever, its
+// version number is the epoch, and "reset" is publishing the next
+// epoch rather than touching the old one.
+//
+// Concurrency contract:
+//   * writer side (stage_* / flush / apply / track) is serialized by an
+//     internal mutex — one logical writer, but calls may come from any
+//     thread (the service's workers all forward mutation requests
+//     here);
+//   * reader side (acquire / version / counters) is safe from any
+//     thread at any time. acquire() pins the current snapshot under a
+//     short lock; the pin itself is a lock-free refcount, so releasing
+//     never blocks a publish;
+//   * a retired snapshot (superseded by a newer version) is reclaimed
+//     only when its last reader drops — the writer sweeps on each
+//     publish, so memory is bounded by "snapshots still pinned + 1".
+//
+// Consistency guarantee (the staleness contract, see
+// docs/ROBUSTNESS.md): a reader never observes a half-applied batch.
+// Every pinned snapshot is the exact graph after some prefix of the
+// applied batches; queries are stale by at most the batches published
+// after their pin, never torn.
+//
+// Level maintenance: roots registered with track() keep incremental
+// BFS levels alongside the graph. Insert-only batches repair them
+// through IncrementalBfs (one multi-seed wave per batch);
+// delete-containing batches fall back to a rebuild against the new
+// state — deletions need level increases, which the decrease-only
+// repair cannot produce.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "stream/dynamic_graph.hpp"
+#include "stream/incremental_bfs.hpp"
+
+namespace sge {
+
+/// One edge mutation. Undirected, mirroring DynamicGraph: an insert
+/// adds the arc pair {u, v} / {v, u}, a remove erases one occurrence.
+struct EdgeOp {
+    enum class Kind : std::uint8_t { kInsert, kRemove };
+    Kind kind = Kind::kInsert;
+    vertex_t u = 0;
+    vertex_t v = 0;
+};
+
+/// An ordered batch of edge mutations, applied atomically with respect
+/// to readers: no snapshot ever shows part of a batch.
+struct MutationBatch {
+    std::vector<EdgeOp> ops;
+
+    void insert(vertex_t u, vertex_t v) {
+        ops.push_back({EdgeOp::Kind::kInsert, u, v});
+    }
+    void remove(vertex_t u, vertex_t v) {
+        ops.push_back({EdgeOp::Kind::kRemove, u, v});
+    }
+    [[nodiscard]] bool empty() const noexcept { return ops.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+};
+
+struct StoreOptions {
+    /// Staged ops (stage_insert/stage_remove) auto-flush when this many
+    /// are buffered — the capacity half of the capacity-or-window
+    /// aggregation discipline (the Grappa idiom, as in the service's
+    /// wave batching).
+    std::size_t batch_capacity = 256;
+
+    /// ... and when this much time has passed since the first staged op
+    /// of the current batch (checked at the next stage_* call; 0 = no
+    /// window, flush on capacity or explicitly).
+    double flush_window_seconds = 0.0;
+};
+
+/// Always-on monotonic counters (the ServiceCounters pattern): ticked
+/// by the writer, readable from any thread.
+struct StoreCounters {
+    std::atomic<std::uint64_t> batches_applied{0};
+    std::atomic<std::uint64_t> snapshots_published{0};
+    /// Edge ops that actually changed the graph (compacted inserts +
+    /// successful removes) — the delta volume, as opposed to ops
+    /// submitted.
+    std::atomic<std::uint64_t> delta_edges{0};
+    /// Removes of absent edges plus insert/remove pairs that cancelled
+    /// within one batch — submitted work that produced no delta.
+    std::atomic<std::uint64_t> noop_ops{0};
+    /// Tracked-root level entries changed by insert-only repair waves.
+    std::atomic<std::uint64_t> repair_touched{0};
+    /// Tracked-root rebuilds forced by delete-containing batches.
+    std::atomic<std::uint64_t> rebuilds{0};
+    /// Snapshots superseded by a publish / freed after their last
+    /// reader dropped. retired - reclaimed = retired snapshots still
+    /// pinned by in-flight readers.
+    std::atomic<std::uint64_t> snapshots_retired{0};
+    std::atomic<std::uint64_t> snapshots_reclaimed{0};
+};
+
+namespace detail {
+
+/// One published graph version. Immutable after publish; `pins` is the
+/// reader refcount (lock-free release, mutex-guarded acquire).
+struct GraphSnapshot {
+    CsrGraph graph;
+    std::uint64_t version = 0;
+    mutable std::atomic<std::uint64_t> pins{0};
+};
+
+}  // namespace detail
+
+class VersionedGraphStore;
+
+/// RAII pin on one published snapshot: the graph it exposes is
+/// immutable and outlives the ref, no matter how many versions the
+/// writer publishes meanwhile. Move-only; the owning store must
+/// outlive every ref. An empty (moved-from / default) ref has no
+/// graph.
+class SnapshotRef {
+  public:
+    SnapshotRef() = default;
+    SnapshotRef(SnapshotRef&& other) noexcept : snap_(other.snap_) {
+        other.snap_ = nullptr;
+    }
+    SnapshotRef& operator=(SnapshotRef&& other) noexcept {
+        if (this != &other) {
+            release();
+            snap_ = other.snap_;
+            other.snap_ = nullptr;
+        }
+        return *this;
+    }
+    SnapshotRef(const SnapshotRef&) = delete;
+    SnapshotRef& operator=(const SnapshotRef&) = delete;
+    ~SnapshotRef() { release(); }
+
+    [[nodiscard]] const CsrGraph& graph() const noexcept {
+        return snap_->graph;
+    }
+    [[nodiscard]] std::uint64_t version() const noexcept {
+        return snap_->version;
+    }
+    [[nodiscard]] explicit operator bool() const noexcept {
+        return snap_ != nullptr;
+    }
+
+    /// Drops the pin early (idempotent; the destructor does the same).
+    void release() noexcept {
+        if (snap_ != nullptr) {
+            // Release ordering: every read of the graph happens-before
+            // the unpin, so the writer's acquire-load of pins == 0
+            // licenses reclamation.
+            snap_->pins.fetch_sub(1, std::memory_order_release);
+            snap_ = nullptr;
+        }
+    }
+
+  private:
+    friend class VersionedGraphStore;
+    explicit SnapshotRef(const detail::GraphSnapshot* snap) noexcept
+        : snap_(snap) {}
+
+    const detail::GraphSnapshot* snap_ = nullptr;
+};
+
+class VersionedGraphStore {
+  public:
+    /// Seeds the store from a static graph (version 1 is its snapshot).
+    explicit VersionedGraphStore(const CsrGraph& initial,
+                                 StoreOptions options = {});
+
+    /// Starts from `num_vertices` isolated vertices. The vertex set is
+    /// fixed for the store's lifetime; mutations are edge ops.
+    explicit VersionedGraphStore(vertex_t num_vertices,
+                                 StoreOptions options = {});
+
+    VersionedGraphStore(const VersionedGraphStore&) = delete;
+    VersionedGraphStore& operator=(const VersionedGraphStore&) = delete;
+
+    /// Destruction requires every SnapshotRef to have been released.
+    ~VersionedGraphStore() = default;
+
+    // ---- reader side (any thread) ----
+
+    /// Pins and returns the latest published snapshot.
+    [[nodiscard]] SnapshotRef acquire() const;
+
+    /// Version of the latest published snapshot (>= the version of any
+    /// snapshot already acquired — the reader's staleness window is
+    /// `version() - ref.version()` batches).
+    [[nodiscard]] std::uint64_t version() const noexcept {
+        return published_version_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] vertex_t num_vertices() const noexcept {
+        return num_vertices_;
+    }
+
+    [[nodiscard]] const StoreCounters& counters() const noexcept {
+        return counters_;
+    }
+
+    /// Published snapshots currently alive: the current one plus any
+    /// retired versions still pinned by readers.
+    [[nodiscard]] std::size_t live_snapshots() const;
+
+    // ---- writer side (serialized internally) ----
+
+    /// Applies `batch` (compacted: in-batch insert/remove pairs cancel)
+    /// and publishes the resulting snapshot. Returns the new version.
+    /// An empty or fully-cancelled batch publishes nothing and returns
+    /// the current version. Throws std::out_of_range on bad vertex ids
+    /// (the graph and tracked levels are untouched in that case).
+    std::uint64_t apply(const MutationBatch& batch);
+
+    /// Single-op staging: buffered until batch_capacity ops are staged
+    /// or flush_window_seconds has passed since the first (checked on
+    /// the next stage), then flushed as one batch.
+    void stage_insert(vertex_t u, vertex_t v);
+    void stage_remove(vertex_t u, vertex_t v);
+
+    /// Ops currently staged and not yet published.
+    [[nodiscard]] std::size_t staged() const;
+
+    /// Publishes staged ops now; returns the (possibly unchanged)
+    /// current version.
+    std::uint64_t flush();
+
+    /// Frees retired snapshots whose last reader has dropped (also done
+    /// automatically on every publish). Returns the number freed.
+    std::size_t reclaim();
+
+    // ---- tracked roots: incremental levels per published version ----
+
+    /// Registers `root` for incremental level maintenance. Idempotent.
+    void track(vertex_t root);
+    void untrack(vertex_t root);
+
+    /// Hop distances from a tracked root, consistent with the latest
+    /// published version (insert-only batches repaired them, delete
+    /// batches rebuilt them — they are never stale). Throws
+    /// std::invalid_argument for an untracked root.
+    [[nodiscard]] std::vector<level_t> tracked_levels(vertex_t root) const;
+
+  private:
+    // *_locked helpers assume writer_mutex_ is held (except
+    // reclaim_pins_locked, which needs pin_mutex_).
+    std::uint64_t apply_locked(const MutationBatch& batch);
+    void maybe_flush_locked();
+    std::uint64_t flush_locked();
+    void publish_locked();
+    std::size_t reclaim_pins_locked();
+
+    const vertex_t num_vertices_;
+    const StoreOptions options_;
+
+    /// Serializes all writer-side state: the working graph, staging
+    /// buffer and tracked levels.
+    mutable std::mutex writer_mutex_;
+    DynamicGraph working_;
+    MutationBatch staged_;
+    std::chrono::steady_clock::time_point first_staged_{};
+    std::vector<std::pair<vertex_t, std::unique_ptr<IncrementalBfs>>> tracked_;
+
+    /// Guards current_/retired_ and pin acquisition (short critical
+    /// sections only: pointer swap, refcount bump, sweep).
+    mutable std::mutex pin_mutex_;
+    std::unique_ptr<detail::GraphSnapshot> current_;
+    std::vector<std::unique_ptr<detail::GraphSnapshot>> retired_;
+
+    std::atomic<std::uint64_t> published_version_{0};
+    mutable StoreCounters counters_;
+};
+
+}  // namespace sge

@@ -16,7 +16,10 @@
 #include "runtime/prng.hpp"
 #include "service/admission.hpp"
 #include "service/graph_service.hpp"
+#include "stream/versioned_store.hpp"
 #include "test_util.hpp"
+
+#include <map>
 
 namespace sge {
 namespace {
@@ -518,6 +521,179 @@ TEST_F(ServiceFaultTest, ChaosSoakLosesNothingAndAnswersCorrectly) {
     EXPECT_EQ(c.resolved(), static_cast<std::uint64_t>(kRequests));
     EXPECT_EQ(c.failed.load(), 0u);  // the serial ladder rung never breaks
     EXPECT_GT(answered, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Live graphs: store-backed service. Mutations and queries share the
+// admission queue; every answered query is exact on the published
+// snapshot version it reports.
+// ---------------------------------------------------------------------
+
+ServiceOptions live_options(int workers = 1) {
+    ServiceOptions options;
+    options.bfs = parallel_options(BfsEngine::kBitmap);
+    options.workers = workers;
+    options.queue_capacity = 512;
+    return options;
+}
+
+TEST(LiveServiceTest, MutationPublishesAndLaterQueriesObserveIt) {
+    VersionedGraphStore store(64);
+    GraphService svc(store, live_options());
+    EXPECT_TRUE(svc.live());
+
+    MutationBatch path;
+    for (vertex_t v = 0; v + 1 < 8; ++v) path.insert(v, v + 1);
+    const QueryResult m = svc.submit_mutation(std::move(path)).result.get();
+    ASSERT_EQ(m.outcome, Outcome::kCompleted);
+    EXPECT_EQ(m.snapshot_version, 2u);  // v1 was the empty seed
+    EXPECT_EQ(store.version(), 2u);
+
+    // Submitted after the mutation resolved, so it must pin v2 (the
+    // only writer is this test).
+    const QueryResult q = svc.submit(0).result.get();
+    ASSERT_TRUE(q.answered());
+    EXPECT_EQ(q.snapshot_version, 2u);
+    EXPECT_EQ(q.level[7], 7u);
+    EXPECT_EQ(q.level, serial_levels(store.acquire().graph(), 0));
+
+    svc.stop();
+    EXPECT_EQ(svc.counters().mutations.load(), 1u);
+    EXPECT_EQ(store.counters().batches_applied.load(), 1u);
+}
+
+TEST(LiveServiceTest, AnswersAreExactOnTheirReportedVersion) {
+    constexpr vertex_t kN = 128;
+    VersionedGraphStore store(kN);
+    GraphService svc(store, live_options(2));
+
+    // Reference levels per published version, recorded as each
+    // mutation resolves (this thread is the only mutation source, so
+    // the store sits at exactly that version right after).
+    std::map<std::uint64_t, std::vector<level_t>> reference;
+    reference[1] = serial_levels(store.acquire().graph(), 0);
+
+    SplitMix64 rng(7);
+    std::vector<std::future<QueryResult>> queries;
+    for (int round = 0; round < 40; ++round) {
+        MutationBatch b;
+        for (int i = 0; i < 10; ++i) {
+            const auto u = static_cast<vertex_t>(rng.next() % kN);
+            const auto v = static_cast<vertex_t>(rng.next() % kN);
+            if (rng.next() % 6 == 0)
+                b.remove(u, v);
+            else
+                b.insert(u, v);
+        }
+        SubmitResult mf = svc.submit_mutation(std::move(b));
+        ASSERT_TRUE(mf.admitted);
+        // These race the mutation through the queue: each may answer
+        // against the version before or after it — both are published
+        // states, and snapshot_version says which.
+        for (int q = 0; q < 4; ++q) queries.push_back(svc.submit(0).result);
+
+        const QueryResult m = mf.result.get();
+        ASSERT_EQ(m.outcome, Outcome::kCompleted);
+        const SnapshotRef ref = store.acquire();
+        ASSERT_EQ(ref.version(), m.snapshot_version);
+        reference.emplace(m.snapshot_version,
+                          serial_levels(ref.graph(), 0));
+    }
+
+    std::uint64_t answered = 0;
+    for (auto& f : queries) {
+        const QueryResult r = f.get();
+        if (!r.answered()) continue;
+        ++answered;
+        const auto it = reference.find(r.snapshot_version);
+        ASSERT_NE(it, reference.end())
+            << "unknown snapshot version " << r.snapshot_version;
+        EXPECT_EQ(r.level, it->second)
+            << "answer not exact on version " << r.snapshot_version;
+    }
+    svc.stop();
+    EXPECT_GT(answered, 0u);
+    EXPECT_EQ(svc.counters().mutations.load(), 40u);
+}
+
+TEST(LiveServiceTest, MutationOnStaticServiceThrows) {
+    const CsrGraph g = path_graph(8);
+    GraphService svc(g, live_options());
+    EXPECT_FALSE(svc.live());
+    MutationBatch b;
+    b.insert(0, 1);
+    EXPECT_THROW(svc.submit_mutation(std::move(b)), std::logic_error);
+    svc.stop();
+}
+
+TEST(LiveServiceTest, MutationRejectsOutOfRangeVertex) {
+    VersionedGraphStore store(8);
+    GraphService svc(store, live_options());
+    MutationBatch b;
+    b.insert(0, 8);
+    EXPECT_THROW(svc.submit_mutation(std::move(b)), std::out_of_range);
+    svc.stop();
+    EXPECT_EQ(store.version(), 1u) << "nothing was applied";
+}
+
+// Chaos soak over a live graph: concurrent mutations and queries under
+// probabilistic faults at every service site. Invariants: no hang
+// (every future resolves), no lost request, nothing resolves kFailed,
+// and the store's applied-batch count agrees with the service's
+// mutation count (each admitted mutation lands exactly once or
+// resolves shed/cancelled — never half-applied, never twice).
+TEST(LiveServiceChaos, MutateQuerySoakLosesNothing) {
+    if (!fault::compiled_in())
+        GTEST_SKIP() << "built with SGE_FAULT_INJECTION=OFF";
+    constexpr int kRequests = 800;
+    constexpr vertex_t kN = 256;
+
+    fault::load_from_env();
+    for (const Site site :
+         {Site::kServiceSubmit, Site::kServiceFlush, Site::kServiceWorker}) {
+        if (!fault::armed_trigger(site))
+            fault::arm(site, Trigger{.probability = 1e-3, .nth = 0});
+    }
+
+    VersionedGraphStore store(kN);
+    ServiceOptions options = live_options(2);
+    options.batch_window_seconds = 0.001;
+    GraphService svc(store, options);
+
+    SplitMix64 rng(99);
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+        if (i % 8 == 0) {
+            MutationBatch b;
+            for (int k = 0; k < 4; ++k) {
+                const auto u = static_cast<vertex_t>(rng.next() % kN);
+                const auto v = static_cast<vertex_t>(rng.next() % kN);
+                if (rng.next() % 5 == 0)
+                    b.remove(u, v);
+                else
+                    b.insert(u, v);
+            }
+            futures.push_back(svc.submit_mutation(std::move(b)).result);
+        } else {
+            const double deadline = (rng.next() % 100 == 0) ? 1e-7 : 0.0;
+            futures.push_back(
+                svc.submit(static_cast<vertex_t>(rng.next() % kN), deadline)
+                    .result);
+        }
+    }
+
+    for (auto& f : futures) (void)f.get();  // must resolve: no hangs
+    svc.stop();
+    fault::disarm_all();
+
+    const auto& c = svc.counters();
+    EXPECT_EQ(c.submitted.load(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(c.resolved(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(c.failed.load(), 0u);
+    EXPECT_EQ(store.counters().batches_applied.load(), c.mutations.load());
+    EXPECT_EQ(store.version(), store.counters().snapshots_published.load())
+        << "versions advance exactly one per publish";
 }
 
 }  // namespace
