@@ -29,6 +29,13 @@ slower than atomic by more than 2x the tolerance on each matching cell
 — the widened band absorbs the extra per-level barrier that a
 time-shared single-core CI host bills at (threads-1) x level wall,
 which real hardware does not (docs/PERF_MODEL.md).
+Likewise any file whose series carry a "backend" param (the compressed-
+backend ablation: 0=plain CSR, 1=delta+varint): on the hybrid engine's
+R-MAT cells — the bottom-up, bandwidth-bound configuration the backend
+targets — compressed must not fall more than 2x the tolerance below
+plain. And any backend=1 series whose name mentions rmat must report
+bits_per_edge < 32: the compressed representation beating the plain
+4 B/edge targets array on a skewed graph is the point of the encoding.
 Comparing a file against itself exercises only these intra-file guards.
 Independently of any baseline, a series whose params carry "faults"=0
 (bench_service clean runs) must report zero "degraded" and zero "shed"
@@ -117,6 +124,14 @@ def check_entry(errors, path, i, entry):
     eps = metrics.get("edges_per_second")
     if eps is not None and not eps > 0:
         fail(errors, path, f"{where} ({name}): edges_per_second not positive")
+    if params.get("backend") == 1 and "rmat" in name:
+        # The compressed backend exists to beat plain CSR's 4 B/edge on
+        # skewed graphs; >= 32 bits/edge there means the encoder broke.
+        bpe = metrics.get("bits_per_edge")
+        if bpe is not None and not bpe < 32:
+            fail(errors, path,
+                 f"{where} ({name}): compressed bits_per_edge={bpe!r} "
+                 f"not below the plain backend's 32")
     if "bitmap_checks" in metrics and "atomic_ops" in metrics:
         if metrics["atomic_ops"] > metrics["bitmap_checks"]:
             fail(errors, path,
@@ -267,6 +282,25 @@ def check_compare(errors, files, baseline, tolerance):
             fail(errors, "compare",
                  f"{describe(key)}: compact rate {compact:.3g} is more than "
                  f"{2.0 * tolerance:.0%} below atomic {atomic:.3g}")
+
+    # Backend guard: the compressed backend (backend=1) must hold its
+    # rate against plain (backend=0) on the hybrid engine's R-MAT cells
+    # — the bottom-up, bandwidth-bound configuration the encoding
+    # targets. Other cells (top-down on a cached workload, uniform's
+    # long gaps) legitimately pay the decode ALU, so they are reported
+    # but not gated. Same 2x band as the frontier guard: a single-core
+    # CI host overstates per-level costs.
+    for key, backends in sorted(split_by_param(current, "backend").items()):
+        bench, name, _ = key
+        if not (isinstance(name, str) and "hybrid" in name and "rmat" in name):
+            continue
+        plain, compressed = backends.get(0), backends.get(1)
+        if plain is None or compressed is None or plain <= 0:
+            continue
+        if compressed < plain * (1.0 - 2.0 * tolerance):
+            fail(errors, "compare",
+                 f"{describe(key)}: compressed rate {compressed:.3g} is more "
+                 f"than {2.0 * tolerance:.0%} below plain {plain:.3g}")
 
 
 def main(argv):

@@ -101,6 +101,8 @@ class BenchReport {
                        static_cast<double>(s.simd_words_scanned)},
                       {"max_thread_edges",
                        static_cast<double>(s.max_thread_edges)},
+                      {"bytes_decoded", static_cast<double>(s.bytes_decoded)},
+                      {"decode_ns", static_cast<double>(s.decode_ns)},
                       {"seconds", s.seconds}};
             add(name, std::move(p), std::move(m));
         }

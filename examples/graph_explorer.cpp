@@ -58,6 +58,8 @@ struct Cli {
     int threads = 0;
     int runs = 3;
     std::uint64_t seed = 1;
+    bool compress = false;           // delta+varint adjacency backend
+    std::string save_compressed;     // write the encoded graph (SGEZSR01)
     bool validate = false;
     bool stats = false;       // per-level counter table after the last run
     std::string trace;        // Chrome trace JSON path (implies stats)
@@ -84,6 +86,7 @@ struct Cli {
         "          [--chunk N] [--bottomup-chunk N] [--alpha X] [--beta X]\n"
         "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
         "          [--width N] [--height N] [--seed N] [--validate]\n"
+        "          [--compress] [--save-compressed FILE]\n"
         "          [--stats] [--trace FILE.json]\n"
         "          [--serve N] [--serve-workers N] [--serve-queue N]\n"
         "          [--serve-window MS] [--serve-deadline MS]\n"
@@ -101,7 +104,10 @@ struct Cli {
         "  --bottomup-chunk  hybrid: vertices per bottom-up range claim\n"
         "                    (default 0 = derive from n/threads)\n"
         "  --alpha, --beta   hybrid direction-switch thresholds\n"
-        "                    (defaults 14, 24; Beamer et al.)\n",
+        "                    (defaults 14, 24; Beamer et al.)\n"
+        "  --compress        run on the delta+varint compressed CSR\n"
+        "                    backend (decode-on-scan; trades varint ALU\n"
+        "                    for DRAM bytes — wins when bandwidth-bound)\n",
         argv0);
     std::exit(2);
 }
@@ -137,6 +143,8 @@ Cli parse(int argc, char** argv) {
         else if (arg == "--threads") cli.threads = std::atoi(next());
         else if (arg == "--runs") cli.runs = std::atoi(next());
         else if (arg == "--seed") cli.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--compress") cli.compress = true;
+        else if (arg == "--save-compressed") cli.save_compressed = next();
         else if (arg == "--validate") cli.validate = true;
         else if (arg == "--stats") cli.stats = true;
         else if (arg == "--trace") cli.trace = next();
@@ -282,6 +290,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(graph.num_edges()),
                 degrees.describe().c_str());
 
+    // Encode once up front when the compressed backend is requested; the
+    // same instance serves the stats line, an optional save, and every
+    // timed run.
+    CompressedCsrGraph zgraph;
+    if (cli.compress || !cli.save_compressed.empty()) {
+        zgraph = csr_compress(graph);
+        const DegreeStats zstats = compute_degree_stats(zgraph);
+        std::printf(
+            "compressed: %zu B (plain %zu B, ratio %.2fx); %.2f bits/edge\n",
+            zgraph.memory_bytes(), graph.memory_bytes(),
+            zgraph.memory_bytes() > 0
+                ? static_cast<double>(graph.memory_bytes()) /
+                      static_cast<double>(zgraph.memory_bytes())
+                : 0.0,
+            zstats.bits_per_edge);
+        if (!cli.save_compressed.empty()) {
+            write_compressed_csr(zgraph, cli.save_compressed);
+            std::printf("saved compressed to %s\n", cli.save_compressed.c_str());
+        }
+    }
+
     BfsOptions options;
     options.engine = parse_engine(cli.engine);
     options.topology = parse_topology(cli.topology);
@@ -292,6 +321,7 @@ int main(int argc, char** argv) {
     options.bottomup_chunk = cli.bottomup_chunk;
     if (cli.alpha > 0) options.hybrid_alpha = cli.alpha;
     if (cli.beta > 0) options.hybrid_beta = cli.beta;
+    if (cli.compress) options.backend = GraphBackend::kCompressed;
     // --stats/--trace honour the SGE_OBS=0 runtime master switch.
     const bool instrument =
         (cli.stats || !cli.trace.empty()) && obs::enabled();
@@ -355,11 +385,13 @@ int main(int argc, char** argv) {
     }
 
     BfsRunner runner(options);
-    std::printf("engine: %s, %d threads on %s, %s schedule, %s frontiers\n",
+    std::printf("engine: %s, %d threads on %s, %s schedule, %s frontiers, "
+                "%s backend\n",
                 to_string(runner.resolved_engine()).c_str(), runner.threads(),
                 runner.topology().describe().c_str(),
                 to_string(options.schedule).c_str(),
-                to_string(options.frontier_gen).c_str());
+                to_string(options.frontier_gen).c_str(),
+                to_string(options.backend).c_str());
 
     Xoshiro256 rng(cli.seed + 1000);
     double best = 0.0;
@@ -374,7 +406,10 @@ int main(int argc, char** argv) {
             root = static_cast<vertex_t>(rng.next_below(graph.num_vertices()));
         } while (graph.degree(root) == 0);
 
-        runner.run_into(result, graph, root);
+        if (cli.compress)
+            runner.run_into(result, zgraph, root);
+        else
+            runner.run_into(result, graph, root);
         const double meps = result.edges_per_second() / 1e6;
         best = std::max(best, meps);
         std::printf(
@@ -401,14 +436,14 @@ int main(int argc, char** argv) {
                         ? ""
                         : "; extended columns need an SGE_OBS build");
         std::printf(
-            "%5s %10s %12s %12s %12s %12s %12s %10s %10s %10s\n", "level",
-            "frontier", "edges", "checks", "skips", "atomics", "wins",
-            "remote", "batches", "barrier_us");
+            "%5s %10s %12s %12s %12s %12s %12s %10s %10s %10s %12s %10s\n",
+            "level", "frontier", "edges", "checks", "skips", "atomics", "wins",
+            "remote", "batches", "barrier_us", "dec_bytes", "dec_us");
         for (std::size_t d = 0; d < last.level_stats.size(); ++d) {
             const BfsLevelStats& s = last.level_stats[d];
             std::printf(
                 "%5zu %10llu %12llu %12llu %12llu %12llu %12llu %10llu "
-                "%10llu %10.1f\n",
+                "%10llu %10.1f %12llu %10.1f\n",
                 d, static_cast<unsigned long long>(s.frontier_size),
                 static_cast<unsigned long long>(s.edges_scanned),
                 static_cast<unsigned long long>(s.bitmap_checks),
@@ -417,7 +452,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.atomic_wins),
                 static_cast<unsigned long long>(s.remote_tuples),
                 static_cast<unsigned long long>(s.batches_pushed),
-                static_cast<double>(s.barrier_wait_ns) / 1000.0);
+                static_cast<double>(s.barrier_wait_ns) / 1000.0,
+                static_cast<unsigned long long>(s.bytes_decoded),
+                static_cast<double>(s.decode_ns) / 1000.0);
         }
     }
     if (instrument && !cli.trace.empty()) {

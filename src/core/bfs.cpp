@@ -6,6 +6,7 @@
 
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
+#include "graph/csr_compressed.hpp"
 
 namespace sge {
 
@@ -25,6 +26,14 @@ std::string to_string(FrontierGen gen) {
     switch (gen) {
         case FrontierGen::kAtomic: return "atomic";
         case FrontierGen::kCompact: return "compact";
+    }
+    return "unknown";
+}
+
+std::string to_string(GraphBackend backend) {
+    switch (backend) {
+        case GraphBackend::kPlain: return "plain";
+        case GraphBackend::kCompressed: return "compressed";
     }
     return "unknown";
 }
@@ -86,7 +95,41 @@ BfsResult BfsRunner::run(const CsrGraph& g, vertex_t root) {
     return result;
 }
 
+BfsResult BfsRunner::run(const CompressedCsrGraph& g, vertex_t root) {
+    BfsResult result;
+    run_into(result, g, root);
+    return result;
+}
+
+const CompressedCsrGraph& BfsRunner::compressed_for(const CsrGraph& g) {
+    const void* tag = g.offsets().data();
+    if (!compressed_ || compressed_tag_ != tag ||
+        compressed_n_ != g.num_vertices() || compressed_m_ != g.num_edges()) {
+        compressed_ = std::make_unique<CompressedCsrGraph>(csr_compress(g));
+        compressed_tag_ = tag;
+        compressed_n_ = g.num_vertices();
+        compressed_m_ = g.num_edges();
+    }
+    return *compressed_;
+}
+
 void BfsRunner::run_into(BfsResult& result, const CsrGraph& g, vertex_t root) {
+    if (options_.backend == GraphBackend::kCompressed) {
+        detail::check_root(g, root);  // validate before paying the encode
+        run_into_impl(result, compressed_for(g), root);
+        return;
+    }
+    run_into_impl(result, g, root);
+}
+
+void BfsRunner::run_into(BfsResult& result, const CompressedCsrGraph& g,
+                         vertex_t root) {
+    run_into_impl(result, g, root);
+}
+
+template <class Graph>
+void BfsRunner::run_into_impl(BfsResult& result, const Graph& g,
+                              vertex_t root) {
     detail::check_root(g, root);
     const BfsEngine engine = resolved_engine();
     if (engine == BfsEngine::kSerial) {
@@ -116,6 +159,12 @@ void BfsRunner::run_into(BfsResult& result, const CsrGraph& g, vertex_t root) {
 }
 
 BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options) {
+    BfsRunner runner(options);
+    return runner.run(g, root);
+}
+
+BfsResult bfs(const CompressedCsrGraph& g, vertex_t root,
+              const BfsOptions& options) {
     BfsRunner runner(options);
     return runner.run(g, root);
 }
@@ -183,6 +232,10 @@ obs::ChromeTrace make_bfs_trace(const BfsResult& result,
         if (s.simd_words_scanned > 0)
             trace.add_counter("simd words", cursor,
                               {{"words", s.simd_words_scanned}});
+        if (s.bytes_decoded > 0)
+            trace.add_counter("decode", cursor,
+                              {{"bytes", s.bytes_decoded},
+                               {"us", s.decode_ns / 1000}});
         cursor += static_cast<std::uint64_t>(s.seconds * 1e9);
     }
     return trace;

@@ -17,6 +17,8 @@
 
 namespace sge {
 
+class CompressedCsrGraph;  // graph/csr_compressed.hpp
+
 /// Which BFS implementation to run.
 enum class BfsEngine {
     kSerial,       ///< textbook two-queue BFS, the sequential reference
@@ -44,6 +46,20 @@ enum class FrontierGen {
 };
 
 [[nodiscard]] std::string to_string(FrontierGen gen);
+
+/// Which adjacency representation a run traverses; see
+/// docs/ALGORITHMS.md "Compressed adjacency".
+enum class GraphBackend {
+    /// The plain CSR targets[] array (4 B/edge, streamed raw).
+    kPlain,
+    /// Delta+varint CompressedCsrGraph, decoded on scan: 2-4x fewer
+    /// adjacency bytes on skewed graphs at the cost of decode ALU — a
+    /// net win when the scan is bandwidth-bound (docs/PERF_MODEL.md
+    /// "Bytes vs ALU").
+    kCompressed,
+};
+
+[[nodiscard]] std::string to_string(GraphBackend backend);
 
 /// Tuning and instrumentation knobs. Defaults reproduce the paper's
 /// most-optimized configuration.
@@ -83,6 +99,14 @@ struct BfsOptions {
     /// atomics (test_and_set / parent CAS) are required for correctness
     /// and remain in both modes. Ignored by the serial engine.
     FrontierGen frontier_gen = FrontierGen::kCompact;
+
+    /// Adjacency representation for BfsRunner::run(const CsrGraph&) /
+    /// bfs(): kCompressed makes the runner delta+varint-encode the graph
+    /// once (cached by graph identity, so back-to-back queries reuse the
+    /// encoding) and traverse decode-on-scan. The
+    /// run(const CompressedCsrGraph&) overloads ignore this — a graph
+    /// that is already compressed is always traversed compressed.
+    GraphBackend backend = GraphBackend::kPlain;
 
     /// kHybrid: vertices per bottom-up range claim (and per conversion
     /// sweep claim). 0 (default) derives n / (threads * 64) clamped to
@@ -279,6 +303,20 @@ struct BfsLevelStats {
     /// 1.0 for a perfectly balanced level, ~threads when one worker
     /// scanned everything).
     std::uint64_t max_thread_edges = 0;
+
+    /// Varint blob bytes decoded by adjacency scans this level, summed
+    /// across threads (GraphBackend::kCompressed only — zero on the
+    /// plain backend). Compare against 4 * edges_scanned, the bytes the
+    /// plain targets[] stream would have moved: the ratio is the
+    /// bandwidth saving the compressed backend buys.
+    std::uint64_t bytes_decoded = 0;
+
+    /// Estimated nanoseconds inside varint decode this level, summed
+    /// across threads. Sampled: every 64th decode call is timed and
+    /// scaled (a timer per call would dwarf a short row's decode), so
+    /// treat as a statistical estimate, not an exact integral. Zero on
+    /// the plain backend.
+    std::uint64_t decode_ns = 0;
 };
 
 /// One thread's participation in one BFS level, stamped against the
@@ -352,13 +390,22 @@ class BfsRunner {
     BfsRunner& operator=(BfsRunner&&) noexcept;
 
     /// Runs a BFS from `root`. Throws std::out_of_range for an invalid
-    /// root or std::invalid_argument for inconsistent options.
+    /// root or std::invalid_argument for inconsistent options. With
+    /// BfsOptions::backend == kCompressed the graph is encoded once
+    /// (cached by identity — offsets address + shape) and traversed
+    /// decode-on-scan.
     BfsResult run(const CsrGraph& g, vertex_t root);
+
+    /// Runs over an already-compressed graph (always decode-on-scan,
+    /// whatever BfsOptions::backend says).
+    BfsResult run(const CompressedCsrGraph& g, vertex_t root);
 
     /// Runs a BFS from `root` into caller-owned `result`, reusing its
     /// buffers (no allocation on back-to-back queries over one graph).
     /// The previous contents of `result` are discarded.
     void run_into(BfsResult& result, const CsrGraph& g, vertex_t root);
+    void run_into(BfsResult& result, const CompressedCsrGraph& g,
+                  vertex_t root);
 
     [[nodiscard]] const BfsOptions& options() const noexcept { return options_; }
 
@@ -383,14 +430,30 @@ class BfsRunner {
     [[nodiscard]] const BfsWorkspaceStats& workspace_stats() const noexcept;
 
   private:
+    template <class Graph>
+    void run_into_impl(BfsResult& result, const Graph& g, vertex_t root);
+
+    /// run(const CsrGraph&) with backend == kCompressed: returns the
+    /// cached encoding of `g`, re-encoding only when the graph identity
+    /// (offsets address + shape) changed since the last query.
+    const CompressedCsrGraph& compressed_for(const CsrGraph& g);
+
     BfsOptions options_;
     Topology topology_;
     std::unique_ptr<ThreadTeam> team_;  // null for serial-only runners
     std::unique_ptr<BfsWorkspace> workspace_;  // lazily built on first run
+
+    // Cached encoding for the backend == kCompressed plain-graph path.
+    std::unique_ptr<CompressedCsrGraph> compressed_;
+    const void* compressed_tag_ = nullptr;  // source offsets address
+    vertex_t compressed_n_ = 0;
+    std::uint64_t compressed_m_ = 0;
 };
 
 /// One-shot convenience wrapper around BfsRunner.
 BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options = {});
+BfsResult bfs(const CompressedCsrGraph& g, vertex_t root,
+              const BfsOptions& options = {});
 
 /// Builds a Chrome trace-event timeline from an instrumented run (run
 /// with BfsOptions::collect_stats): one track per worker thread carrying
@@ -408,18 +471,34 @@ namespace detail {
 // Engine entry points (exposed for tests; use BfsRunner in user code).
 // The parallel engines require a workspace already prepare()d for
 // (g, engine, options, team); they write into `result` after rewinding
-// it (reset_result).
+// it (reset_result). Each engine is one template body instantiated for
+// both CSR backends (docs/ALGORITHMS.md "Compressed adjacency") — the
+// overload pairs are the two instantiations.
 void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 BfsResult& result);
+void bfs_serial(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, BfsResult& result);
 void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
+void bfs_naive(const CompressedCsrGraph& g, vertex_t root,
+               const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+               BfsResult& result);
 void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
+void bfs_bitmap(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+                BfsResult& result);
 void bfs_multisocket(const CsrGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result);
+void bfs_multisocket(const CompressedCsrGraph& g, vertex_t root,
                      const BfsOptions& options, ThreadTeam& team,
                      BfsWorkspace& ws, BfsResult& result);
 void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
+void bfs_hybrid(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+                BfsResult& result);
 
 }  // namespace detail
 

@@ -6,11 +6,14 @@
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/csr_compressed.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
+
+namespace {
 
 /// Algorithm 2: single-socket parallel BFS with the paper's first two
 /// optimizations.
@@ -29,8 +32,9 @@ namespace sge::detail {
 /// Queue accesses are batched (chunked dequeue, local staging buffers)
 /// so the shared cursors are touched once per chunk instead of once per
 /// vertex.
-void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
+template <class Graph>
+void bfs_bitmap_impl(const Graph& g, vertex_t root, const BfsOptions& options,
+                     ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
@@ -125,33 +129,31 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                     // Keep the next vertex's adjacency metadata in
                     // flight while scanning this one (Section III's
                     // decoupling of computation and memory requests).
-                    if (i + 1 < end)
-                        prefetch_read(&g.offsets()[cq[i + 1]]);
-                    const auto adj = g.neighbors(u);
-                    counters.edges_scanned += adj.size();
-                    for (std::size_t j = 0; j < adj.size(); ++j) {
-                        if (j + kVisitedPrefetchDistance < adj.size())
-                            prefetch_read(bitmap.word_addr(
-                                adj[j + kVisitedPrefetchDistance]));
-                        const vertex_t v = adj[j];
-                        ++counters.bitmap_checks;
-                        if (double_check && bitmap.test(v)) {
-                            counters.count_skip();
-                            continue;
-                        }
-                        ++counters.atomic_ops;
-                        if (bitmap.test_and_set(v)) continue;
-                        counters.count_win();
-                        parent[v] = u;  // winner-only plain store
-                        if (level != nullptr) level[v] = depth + 1;
-                        ++discovered;
-                        if (compact) {
-                            cbuf[staged_count++] = v;  // plain store
-                        } else if (staged.push(v)) {
-                            nq.push_batch(staged.data(), staged.size());
-                            staged.clear();
-                        }
-                    }
+                    if (i + 1 < end) g.prefetch_adjacency(cq[i + 1]);
+                    scan_adjacency(
+                        g, u, counters,
+                        [&](vertex_t w) {
+                            prefetch_read(bitmap.word_addr(w));
+                        },
+                        [&](vertex_t v) {
+                            ++counters.bitmap_checks;
+                            if (double_check && bitmap.test(v)) {
+                                counters.count_skip();
+                                return;
+                            }
+                            ++counters.atomic_ops;
+                            if (bitmap.test_and_set(v)) return;
+                            counters.count_win();
+                            parent[v] = u;  // winner-only plain store
+                            if (level != nullptr) level[v] = depth + 1;
+                            ++discovered;
+                            if (compact) {
+                                cbuf[staged_count++] = v;  // plain store
+                            } else if (staged.push(v)) {
+                                nq.push_batch(staged.data(), staged.size());
+                                staged.clear();
+                            }
+                        });
                 }
             }
             if (compact) {
@@ -228,6 +230,19 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
+}
+
+}  // namespace
+
+void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
+    bfs_bitmap_impl(g, root, options, team, ws, result);
+}
+
+void bfs_bitmap(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+                BfsResult& result) {
+    bfs_bitmap_impl(g, root, options, team, ws, result);
 }
 
 }  // namespace sge::detail

@@ -7,6 +7,7 @@
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/csr_compressed.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/simd_scan.hpp"
@@ -18,8 +19,6 @@ namespace {
 
 /// Direction of one BFS level.
 enum class Direction { kTopDown, kBottomUp };
-
-}  // namespace
 
 /// Extension engine: direction-optimizing BFS (Beamer, Asanović,
 /// Patterson, SC'12) layered on the paper's substrates.
@@ -44,8 +43,9 @@ enum class Direction { kTopDown, kBottomUp };
 /// bits is an O(1) epoch bump, and back-to-back queries skip every O(n)
 /// re-initialisation. The [0, n) range plan survives across queries on
 /// the same graph (ws.range_planned) — only its cursors rewind.
-void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
+template <class Graph>
+void bfs_hybrid_impl(const Graph& g, vertex_t root, const BfsOptions& options,
+                     ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
@@ -177,34 +177,32 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                         // Keep the next vertex's adjacency metadata in
                         // flight while scanning this one (Section III's
                         // decoupling of computation and memory requests).
-                        if (i + 1 < end)
-                            prefetch_read(&g.offsets()[cq[i + 1]]);
-                        const auto adj = g.neighbors(u);
-                        counters.edges_scanned += adj.size();
-                        for (std::size_t j = 0; j < adj.size(); ++j) {
-                            if (j + kVisitedPrefetchDistance < adj.size())
-                                prefetch_read(visited.word_addr(
-                                    adj[j + kVisitedPrefetchDistance]));
-                            const vertex_t v = adj[j];
-                            ++counters.bitmap_checks;
-                            if (double_check && visited.test(v)) {
-                                counters.count_skip();
-                                continue;
-                            }
-                            ++counters.atomic_ops;
-                            if (visited.test_and_set(v)) continue;
-                            counters.count_win();
-                            parent[v] = u;
-                            if (level != nullptr) level[v] = depth + 1;
-                            ++discovered;
-                            discovered_degree += g.degree(v);
-                            if (compact) {
-                                cbuf[staged_count++] = v;  // plain store
-                            } else if (staged.push(v)) {
-                                nq.push_batch(staged.data(), staged.size());
-                                staged.clear();
-                            }
-                        }
+                        if (i + 1 < end) g.prefetch_adjacency(cq[i + 1]);
+                        scan_adjacency(
+                            g, u, counters,
+                            [&](vertex_t w) {
+                                prefetch_read(visited.word_addr(w));
+                            },
+                            [&](vertex_t v) {
+                                ++counters.bitmap_checks;
+                                if (double_check && visited.test(v)) {
+                                    counters.count_skip();
+                                    return;
+                                }
+                                ++counters.atomic_ops;
+                                if (visited.test_and_set(v)) return;
+                                counters.count_win();
+                                parent[v] = u;
+                                if (level != nullptr) level[v] = depth + 1;
+                                ++discovered;
+                                discovered_degree += g.degree(v);
+                                if (compact) {
+                                    cbuf[staged_count++] = v;  // plain store
+                                } else if (staged.push(v)) {
+                                    nq.push_batch(staged.data(), staged.size());
+                                    staged.clear();
+                                }
+                            });
                     }
                 }
                 if (compact) {
@@ -220,11 +218,13 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 std::size_t base = 0;
                 std::size_t stop = 0;
                 WorkQueue::Claim cl;
+                // The early-exit probe: scan_adjacency_until accounts
+                // edges_scanned per examined neighbour; the callback
+                // returns false to stop at the first frontier parent.
                 const auto hunt = [&](vertex_t v) {
-                    for (const vertex_t w : g.neighbors(v)) {
-                        ++counters.edges_scanned;
+                    scan_adjacency_until(g, v, counters, [&](vertex_t w) {
                         ++counters.bitmap_checks;
-                        if (!fb_cur.test(w)) continue;
+                        if (!fb_cur.test(w)) return true;
                         // v's chunk is claimed exactly once, so the
                         // test_and_set cannot lose; it still provides
                         // the release ordering the next level needs.
@@ -237,8 +237,8 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                         discovered_degree += g.degree(v);
                         ++counters.atomic_ops;
                         fb_next.test_and_set(v);
-                        break;
-                    }
+                        return false;
+                    });
                 };
                 if (compact) {
                     // Vectorized sweep: test 32 visited slots per word
@@ -529,6 +529,19 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     result.edges_traversed = shared.explored_degree.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
+}
+
+}  // namespace
+
+void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
+    bfs_hybrid_impl(g, root, options, team, ws, result);
+}
+
+void bfs_hybrid(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+                BfsResult& result) {
+    bfs_hybrid_impl(g, root, options, team, ws, result);
 }
 
 }  // namespace sge::detail

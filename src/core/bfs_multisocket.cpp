@@ -7,11 +7,14 @@
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/csr_compressed.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
+
+namespace {
 
 /// Algorithm 3: the paper's full multi-socket BFS.
 ///
@@ -37,9 +40,10 @@ namespace sge::detail {
 /// the workspace and were first-touched by each socket's own pinned
 /// workers, so back-to-back queries pay no allocation or page-placement
 /// cost.
-void bfs_multisocket(const CsrGraph& g, vertex_t root,
-                     const BfsOptions& options, ThreadTeam& team,
-                     BfsWorkspace& ws, BfsResult& result) {
+template <class Graph>
+void bfs_multisocket_impl(const Graph& g, vertex_t root,
+                          const BfsOptions& options, ThreadTeam& team,
+                          BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
@@ -183,15 +187,16 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
                 counters.count_chunk(cl == WorkQueue::Claim::kStolen);
                 for (std::size_t i = begin; i < end; ++i) {
                     const vertex_t u = cq[i];
-                    if (i + 1 < end)
-                        prefetch_read(&g.offsets()[cq[i + 1]]);
-                    const auto adj = g.neighbors(u);
-                    counters.edges_scanned += adj.size();
-                    for (const vertex_t v : adj) {
-                        const int s = partition.socket_of(v);
-                        if (s == my) {
-                            visit_local(v, u, depth + 1, nq, counters, discovered);
-                        } else {
+                    if (i + 1 < end) g.prefetch_adjacency(cq[i + 1]);
+                    scan_adjacency(
+                        g, u, counters, [](vertex_t) {},
+                        [&](vertex_t v) {
+                            const int s = partition.socket_of(v);
+                            if (s == my) {
+                                visit_local(v, u, depth + 1, nq, counters,
+                                            discovered);
+                                return;
+                            }
                             // Optional ablation: peek at the owner's bit
                             // before shipping. Costs remote coherence
                             // traffic (why the paper doesn't), saves
@@ -200,7 +205,7 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
                                 ++counters.bitmap_checks;
                                 if (bitmap.test(v)) {
                                     counters.count_skip();
-                                    continue;
+                                    return;
                                 }
                             }
                             ++counters.remote_tuples;
@@ -211,8 +216,7 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
                                                         remote[s].size());
                                 remote[s].clear();
                             }
-                        }
-                    }
+                        });
                 }
             }
             for (int s = 0; s < sockets; ++s) {
@@ -326,6 +330,20 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
+}
+
+}  // namespace
+
+void bfs_multisocket(const CsrGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result) {
+    bfs_multisocket_impl(g, root, options, team, ws, result);
+}
+
+void bfs_multisocket(const CompressedCsrGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result) {
+    bfs_multisocket_impl(g, root, options, team, ws, result);
 }
 
 }  // namespace sge::detail

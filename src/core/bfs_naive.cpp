@@ -5,11 +5,14 @@
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
+#include "graph/csr_compressed.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
+
+namespace {
 
 /// Algorithm 1: the high-level parallel BFS before any of the paper's
 /// optimizations. One shared current/next queue pair; the visited check
@@ -22,8 +25,9 @@ namespace sge::detail {
 /// (stale stamp == unclaimed), so back-to-back queries skip the O(n)
 /// parent/level re-initialisation — unreached sentinels are written by
 /// a post-traversal fill sweep instead.
-void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-               ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
+template <class Graph>
+void bfs_naive_impl(const Graph& g, vertex_t root, const BfsOptions& options,
+                    ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
@@ -117,42 +121,40 @@ void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                     // Keep the next vertex's adjacency metadata in
                     // flight while scanning this one (Section III's
                     // decoupling of computation and memory requests).
-                    if (i + 1 < end)
-                        prefetch_read(&g.offsets()[cq[i + 1]]);
-                    const auto adj = g.neighbors(u);
-                    counters.edges_scanned += adj.size();
-                    for (std::size_t j = 0; j < adj.size(); ++j) {
-                        if (j + kVisitedPrefetchDistance < adj.size())
-                            prefetch_read(
-                                &claim[adj[j + kVisitedPrefetchDistance]]);
-                        const vertex_t v = adj[j];
-                        // Unconditional atomic claim on the epoch-stamped
-                        // word (Algorithm 1's atomic P[v] == INF -> u).
-                        ++counters.bitmap_checks;
-                        ++counters.atomic_ops;
-                        std::atomic<std::uint64_t>& cw = claim[v];
-                        std::uint64_t seen =
-                            cw.load(std::memory_order_relaxed);
-                        bool won = false;
-                        while ((seen >> 32) != epoch) {
-                            if (cw.compare_exchange_weak(
-                                    seen, stamp | u, std::memory_order_acq_rel,
-                                    std::memory_order_relaxed)) {
-                                won = true;
-                                break;
+                    if (i + 1 < end) g.prefetch_adjacency(cq[i + 1]);
+                    scan_adjacency(
+                        g, u, counters,
+                        [&](vertex_t w) { prefetch_read(&claim[w]); },
+                        [&](vertex_t v) {
+                            // Unconditional atomic claim on the epoch-
+                            // stamped word (Algorithm 1's atomic
+                            // P[v] == INF -> u).
+                            ++counters.bitmap_checks;
+                            ++counters.atomic_ops;
+                            std::atomic<std::uint64_t>& cw = claim[v];
+                            std::uint64_t seen =
+                                cw.load(std::memory_order_relaxed);
+                            bool won = false;
+                            while ((seen >> 32) != epoch) {
+                                if (cw.compare_exchange_weak(
+                                        seen, stamp | u,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+                                    won = true;
+                                    break;
+                                }
                             }
-                        }
-                        if (won) {
-                            counters.count_win();
-                            parent[v] = u;  // winner-only plain store
-                            if (level != nullptr) level[v] = depth + 1;
-                            if (compact)
-                                cbuf[staged++] = v;  // plain store
-                            else
-                                nq.push_one(v);
-                            ++discovered;
-                        }
-                    }
+                            if (won) {
+                                counters.count_win();
+                                parent[v] = u;  // winner-only plain store
+                                if (level != nullptr) level[v] = depth + 1;
+                                if (compact)
+                                    cbuf[staged++] = v;  // plain store
+                                else
+                                    nq.push_one(v);
+                                ++discovered;
+                            }
+                        });
                 }
             }
             if (compact) fc.publish(tid, staged);
@@ -232,6 +234,19 @@ void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     result.edges_traversed = shared.edges.load(std::memory_order_relaxed);
     result.num_levels = levels;
     if (options.collect_stats) copy_level_stats(result, stats, levels);
+}
+
+}  // namespace
+
+void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+               ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
+    bfs_naive_impl(g, root, options, team, ws, result);
+}
+
+void bfs_naive(const CompressedCsrGraph& g, vertex_t root,
+               const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+               BfsResult& result) {
+    bfs_naive_impl(g, root, options, team, ws, result);
 }
 
 }  // namespace sge::detail

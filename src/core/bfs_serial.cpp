@@ -1,7 +1,10 @@
 #include "core/engine_common.hpp"
+#include "graph/csr_compressed.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
+
+namespace {
 
 /// Sequential reference BFS: two std::vector queues, no atomics. This is
 /// the "best sequential implementation" every parallel-BFS paper must
@@ -12,8 +15,13 @@ namespace sge::detail {
 /// keeps the capacity of a previous query's arrays. The serial engine
 /// has no visited bitmap — parent[v] == kInvalidVertex IS the visited
 /// test — so the sentinel fill stays, unlike the parallel engines.
-void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
-                BfsResult& result) {
+///
+/// One body for both CSR backends (scan_adjacency); the per-level
+/// ThreadCounters instance carries the edge and decode accounting the
+/// scan helper produces.
+template <class Graph>
+void bfs_serial_impl(const Graph& g, vertex_t root, const BfsOptions& options,
+                     BfsResult& result) {
     check_root(g, root);
     const vertex_t n = g.num_vertices();
 
@@ -35,27 +43,35 @@ void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
     while (!current.empty()) {
         BfsLevelStats stats;
         stats.frontier_size = current.size();
+        ThreadCounters counters;
         level_timer.reset();
         for (const vertex_t u : current) {
-            const auto adj = g.neighbors(u);
-            result.edges_traversed += adj.size();
-            stats.edges_scanned += adj.size();
-            for (const vertex_t v : adj) {
-                ++stats.bitmap_checks;
-                if (result.parent[v] == kInvalidVertex) {
-                    // Plain claim (no atomics here): counted as a "win"
-                    // so sum(atomic_wins) == n-1 holds for every engine.
-                    if constexpr (obs::compiled_in()) ++stats.atomic_wins;
-                    result.parent[v] = u;
-                    if (options.compute_levels) result.level[v] = depth + 1;
-                    next.push_back(v);
-                    ++result.vertices_visited;
-                } else {
-                    if constexpr (obs::compiled_in()) ++stats.bitmap_skips;
-                }
-            }
+            scan_adjacency(
+                g, u, counters, [](vertex_t) {},
+                [&](vertex_t v) {
+                    ++stats.bitmap_checks;
+                    if (result.parent[v] == kInvalidVertex) {
+                        // Plain claim (no atomics here): counted as a
+                        // "win" so sum(atomic_wins) == n-1 holds for
+                        // every engine.
+                        if constexpr (obs::compiled_in()) ++stats.atomic_wins;
+                        result.parent[v] = u;
+                        if (options.compute_levels)
+                            result.level[v] = depth + 1;
+                        next.push_back(v);
+                        ++result.vertices_visited;
+                    } else {
+                        if constexpr (obs::compiled_in()) ++stats.bitmap_skips;
+                    }
+                });
         }
         stats.seconds = level_timer.seconds();
+        result.edges_traversed += counters.edges_scanned;
+        stats.edges_scanned = counters.edges_scanned;
+        if constexpr (obs::compiled_in()) {
+            stats.bytes_decoded = counters.bytes_decoded;
+            stats.decode_ns = counters.decode_ns;
+        }
         if (options.collect_stats) result.level_stats.push_back(stats);
         ++depth;
         current.swap(next);
@@ -70,6 +86,18 @@ void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
     result.num_levels = depth;
     result.seconds = timer.seconds();
+}
+
+}  // namespace
+
+void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
+                BfsResult& result) {
+    bfs_serial_impl(g, root, options, result);
+}
+
+void bfs_serial(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, BfsResult& result) {
+    bfs_serial_impl(g, root, options, result);
 }
 
 }  // namespace sge::detail

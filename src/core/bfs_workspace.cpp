@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "concurrency/thread_team.hpp"
+#include "graph/csr_compressed.hpp"
 #include "graph/partition.hpp"
 
 namespace sge {
@@ -20,36 +21,44 @@ std::pair<std::size_t, std::size_t> word_range(std::size_t vlo,
 
 }  // namespace
 
-void BfsWorkspace::prepare(const CsrGraph& g, BfsEngine engine,
-                           const BfsOptions& options, ThreadTeam& team) {
+template <class Graph>
+void BfsWorkspace::prepare_impl(const Graph& g, BfsEngine engine,
+                                const BfsOptions& options, ThreadTeam& team) {
     if (g.num_vertices() != prepared_n_ || engine != prepared_engine_ ||
         team.size() != prepared_threads_ ||
         options.frontier_gen != prepared_gen_) {
-        allocate(g, engine, options, team);
+        allocate(g.num_vertices(), engine, options, team);
         ++stats.prepares;
     } else {
         ++stats.workspace_reuses;
     }
-    note_graph(g);
+    note_graph(g.offsets().data(), g.num_vertices(), g.num_edges());
     reset_for_query(engine);
 }
 
-void BfsWorkspace::note_graph(const CsrGraph& g) {
-    const void* offsets = g.offsets().data();
-    if (offsets == tag_offsets_ && g.num_vertices() == tag_n_ &&
-        g.num_edges() == tag_m_)
-        return;
+void BfsWorkspace::prepare(const CsrGraph& g, BfsEngine engine,
+                           const BfsOptions& options, ThreadTeam& team) {
+    prepare_impl(g, engine, options, team);
+}
+
+void BfsWorkspace::prepare(const CompressedCsrGraph& g, BfsEngine engine,
+                           const BfsOptions& options, ThreadTeam& team) {
+    prepare_impl(g, engine, options, team);
+}
+
+void BfsWorkspace::note_graph(const void* offsets, vertex_t n,
+                              std::uint64_t m) {
+    if (offsets == tag_offsets_ && n == tag_n_ && m == tag_m_) return;
     // Different graph (even at equal n): degree-derived plans are stale.
     range_planned = false;
     ms_planned = false;
     tag_offsets_ = offsets;
-    tag_n_ = g.num_vertices();
-    tag_m_ = g.num_edges();
+    tag_n_ = n;
+    tag_m_ = m;
 }
 
-void BfsWorkspace::allocate(const CsrGraph& g, BfsEngine engine,
+void BfsWorkspace::allocate(vertex_t n, BfsEngine engine,
                             const BfsOptions& options, ThreadTeam& team) {
-    const vertex_t n = g.num_vertices();
     const int threads = team.size();
     const int sockets = team.sockets_used();
     const std::size_t batch = options.batch_size < 1 ? 1 : options.batch_size;
@@ -309,8 +318,9 @@ void BfsWorkspace::reset_for_query(BfsEngine engine) {
     compactor.reset();
 }
 
-void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
-                              ThreadTeam& team) {
+template <class Graph>
+void BfsWorkspace::prepare_ms_impl(const Graph& g, SchedulePolicy schedule,
+                                   ThreadTeam& team) {
     const vertex_t n = g.num_vertices();
     const int threads = team.size();
     if (n != ms_n_ || threads != ms_threads_) {
@@ -327,7 +337,7 @@ void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
     } else {
         ++stats.workspace_reuses;
     }
-    note_graph(g);
+    note_graph(g.offsets().data(), g.num_vertices(), g.num_edges());
     if (schedule != ms_schedule_) ms_planned = false;
     if (schedule == SchedulePolicy::kStatic) return;
     // Cut the degree-weighted [0, n) plan once per (graph, schedule);
@@ -343,6 +353,16 @@ void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
     } else {
         ms_wq->reset_cursors();
     }
+}
+
+void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
+                              ThreadTeam& team) {
+    prepare_ms_impl(g, schedule, team);
+}
+
+void BfsWorkspace::prepare_ms(const CompressedCsrGraph& g,
+                              SchedulePolicy schedule, ThreadTeam& team) {
+    prepare_ms_impl(g, schedule, team);
 }
 
 }  // namespace sge

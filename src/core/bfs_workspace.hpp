@@ -54,10 +54,14 @@ class BfsWorkspace {
     /// in queues or channels, so a failed query never poisons the next.
     void prepare(const CsrGraph& g, BfsEngine engine, const BfsOptions& options,
                  ThreadTeam& team);
+    void prepare(const CompressedCsrGraph& g, BfsEngine engine,
+                 const BfsOptions& options, ThreadTeam& team);
 
     /// Readies the MS-BFS lane buffers (seen/frontier/next masks) and
     /// the dense-scan plan for one multi_source_bfs call on `team`.
     void prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
+                    ThreadTeam& team);
+    void prepare_ms(const CompressedCsrGraph& g, SchedulePolicy schedule,
                     ThreadTeam& team);
 
     // ---- engine-facing state ------------------------------------------
@@ -130,11 +134,22 @@ class BfsWorkspace {
     BfsWorkspaceStats stats;
 
   private:
-    void allocate(const CsrGraph& g, BfsEngine engine,
-                  const BfsOptions& options, ThreadTeam& team);
+    // Backend-generic bodies behind the prepare()/prepare_ms() overload
+    // pairs (defined in bfs_workspace.cpp — legal because the overloads
+    // there are the only instantiation points). Either backend's
+    // offsets-array address serves as the graph identity tag.
+    template <class Graph>
+    void prepare_impl(const Graph& g, BfsEngine engine,
+                      const BfsOptions& options, ThreadTeam& team);
+    template <class Graph>
+    void prepare_ms_impl(const Graph& g, SchedulePolicy schedule,
+                         ThreadTeam& team);
+
+    void allocate(vertex_t n, BfsEngine engine, const BfsOptions& options,
+                  ThreadTeam& team);
     void first_touch(BfsEngine engine, ThreadTeam& team);
     void reset_for_query(BfsEngine engine);
-    void note_graph(const CsrGraph& g);
+    void note_graph(const void* offsets, vertex_t n, std::uint64_t m);
 
     // Identity of the last-prepared configuration. prepared_n_ is
     // poisoned (kInvalidVertex) while allocate() is in flight so a

@@ -177,6 +177,8 @@ struct LevelAccum {
     std::atomic<std::uint64_t> prefix_sum_ns{0};
     std::atomic<std::uint64_t> compact_writes{0};
     std::atomic<std::uint64_t> simd_words_scanned{0};
+    std::atomic<std::uint64_t> bytes_decoded{0};
+    std::atomic<std::uint64_t> decode_ns{0};
 
     LevelAccum() = default;
     LevelAccum(const LevelAccum&) = delete;
@@ -205,6 +207,8 @@ struct LevelAccum {
         prefix_sum_ns.store(0, std::memory_order_relaxed);
         compact_writes.store(0, std::memory_order_relaxed);
         simd_words_scanned.store(0, std::memory_order_relaxed);
+        bytes_decoded.store(0, std::memory_order_relaxed);
+        decode_ns.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -254,6 +258,9 @@ struct alignas(kCacheLineSize) ThreadCounters {
     std::uint64_t chunks_claimed = 0;
     std::uint64_t chunks_stolen = 0;
     std::uint64_t simd_words_scanned = 0;
+    std::uint64_t bytes_decoded = 0;
+    std::uint64_t decode_ns = 0;
+    std::uint64_t decode_calls = 0;  // sampling clock; never flushed
 
     /// A frontier chunk claimed from the scheduler (stolen when it came
     /// from a same-socket sibling's range).
@@ -322,6 +329,9 @@ struct alignas(kCacheLineSize) ThreadCounters {
                                          std::memory_order_relaxed);
             slot.simd_words_scanned.fetch_add(simd_words_scanned,
                                               std::memory_order_relaxed);
+            slot.bytes_decoded.fetch_add(bytes_decoded,
+                                         std::memory_order_relaxed);
+            slot.decode_ns.fetch_add(decode_ns, std::memory_order_relaxed);
             atomic_accumulate_max(slot.max_thread_edges, edges_scanned);
         }
         *this = ThreadCounters{};
@@ -447,9 +457,101 @@ class SpanRecorder {
     std::vector<CachePadded<std::vector<BfsThreadSpan>>> logs_;
 };
 
-inline void check_root(const CsrGraph& g, vertex_t root) {
+/// Adjacency-scan lookahead distance (in neighbours) for the visited /
+/// claim word prefetch — far enough to cover a demand miss, near enough
+/// that the line is still resident when the scan catches up.
+inline constexpr std::size_t kVisitedPrefetchDistance = 8;
+
+template <class Graph>
+inline void check_root(const Graph& g, vertex_t root) {
     if (root >= g.num_vertices())
         throw std::out_of_range("bfs: root vertex out of range");
+}
+
+// ---------------------------------------------------------------------
+// Accessor-generic adjacency scans (docs/ALGORITHMS.md "Compressed
+// adjacency"). One engine body serves both CSR backends: `if constexpr`
+// on Graph::kCompressed picks the raw span walk (with the visited-word
+// lookahead prefetch) or the sequential varint decode (where lookahead
+// ids do not exist before they are decoded).
+// ---------------------------------------------------------------------
+
+/// Decode-cost sampling period. Timing every decode call would cost two
+/// clock reads (~40 ns) against a ~30 ns decode of a degree-16 row, so
+/// the scan helpers time every 64th call and scale by 64: decode_ns is
+/// a statistical estimate with per-level error bounded by the sampling,
+/// while bytes_decoded stays exact (a plain add on every call).
+inline constexpr std::uint64_t kDecodeSampleEvery = 64;
+
+/// Full adjacency scan of `u`: calls `fn(w)` per neighbour, counts the
+/// scanned edges into `tc.edges_scanned`, and on the compressed backend
+/// also accounts bytes_decoded (always) and sampled decode_ns (SGE_OBS
+/// builds). `hint(w)` is the plain backend's lookahead prefetch —
+/// called kVisitedPrefetchDistance neighbours ahead of `fn` so the
+/// visited/claim word is resident by the time the scan reaches it; pass
+/// a no-op lambda for engines that do not want it.
+template <class Graph, class Hint, class Fn>
+inline void scan_adjacency(const Graph& g, vertex_t u, ThreadCounters& tc,
+                           Hint&& hint, Fn&& fn) {
+    if constexpr (Graph::kCompressed) {
+        (void)hint;  // decode order is sequential; no ids to look ahead to
+        tc.edges_scanned += g.degree(u);
+        if constexpr (obs::compiled_in()) {
+            std::size_t bytes = 0;
+            if (tc.decode_calls++ % kDecodeSampleEvery == 0) {
+                WallTimer timer;
+                bytes = g.neighbors_for_each(u, fn);
+                tc.decode_ns += timer.nanoseconds() * kDecodeSampleEvery;
+            } else {
+                bytes = g.neighbors_for_each(u, fn);
+            }
+            tc.bytes_decoded += bytes;
+        } else {
+            g.neighbors_for_each(u, fn);
+        }
+    } else {
+        const auto adj = g.neighbors(u);
+        tc.edges_scanned += adj.size();
+        for (std::size_t j = 0; j < adj.size(); ++j) {
+            if (j + kVisitedPrefetchDistance < adj.size())
+                hint(adj[j + kVisitedPrefetchDistance]);
+            fn(adj[j]);
+        }
+    }
+}
+
+/// Early-exit adjacency scan for the bottom-up probe: `fn(w)` returns
+/// true to continue, false to stop (a parent was found). Edges are
+/// counted per neighbour actually examined — the early exit is the
+/// point — and on the compressed backend the bytes consumed up to the
+/// stop feed bytes_decoded.
+template <class Graph, class Fn>
+inline void scan_adjacency_until(const Graph& g, vertex_t v,
+                                 ThreadCounters& tc, Fn&& fn) {
+    if constexpr (Graph::kCompressed) {
+        const auto counted = [&tc, &fn](vertex_t w) {
+            ++tc.edges_scanned;
+            return fn(w);
+        };
+        if constexpr (obs::compiled_in()) {
+            std::size_t bytes = 0;
+            if (tc.decode_calls++ % kDecodeSampleEvery == 0) {
+                WallTimer timer;
+                bytes = g.neighbors_for_each_until(v, counted);
+                tc.decode_ns += timer.nanoseconds() * kDecodeSampleEvery;
+            } else {
+                bytes = g.neighbors_for_each_until(v, counted);
+            }
+            tc.bytes_decoded += bytes;
+        } else {
+            g.neighbors_for_each_until(v, counted);
+        }
+    } else {
+        for (const vertex_t w : g.neighbors(v)) {
+            ++tc.edges_scanned;
+            if (!fn(w)) break;
+        }
+    }
 }
 
 /// Rewinds a (possibly reused) BfsResult for a fresh run: the dense
@@ -489,11 +591,6 @@ inline void fill_unreached(const VersionedBitmap& visited, std::size_t lo,
     }
 }
 
-/// Adjacency-scan lookahead distance (in neighbours) for the visited /
-/// claim word prefetch — far enough to cover a demand miss, near enough
-/// that the line is still resident when the scan catches up.
-inline constexpr std::size_t kVisitedPrefetchDistance = 8;
-
 /// Copies accumulated per-level slots into `out` (dropping the trailing
 /// slot engines pre-create for a level that never ran).
 inline void copy_level_stats(std::vector<BfsLevelStats>& out,
@@ -526,6 +623,8 @@ inline void copy_level_stats(std::vector<BfsLevelStats>& out,
         s.compact_writes = a.compact_writes.load(std::memory_order_relaxed);
         s.simd_words_scanned =
             a.simd_words_scanned.load(std::memory_order_relaxed);
+        s.bytes_decoded = a.bytes_decoded.load(std::memory_order_relaxed);
+        s.decode_ns = a.decode_ns.load(std::memory_order_relaxed);
         out.push_back(s);
     }
 }
@@ -582,8 +681,9 @@ inline std::vector<int> team_socket_map(const ThreadTeam& team) {
 /// into per-claimant ranges). Weight is out-degree + 1 so zero-degree
 /// vertices still advance the cut. Single-threaded; publish via a
 /// barrier before claiming.
+template <class Graph>
 inline void plan_frontier(WorkQueue& wq, const vertex_t* items,
-                          std::size_t count, const CsrGraph& g,
+                          std::size_t count, const Graph& g,
                           SchedulePolicy policy, std::size_t chunk_size) {
     if (policy == SchedulePolicy::kStatic) {
         wq.plan_static(count, chunk_size);
@@ -601,7 +701,8 @@ inline void plan_frontier(WorkQueue& wq, const vertex_t* items,
 /// Plans `wq` over the whole vertex range [0, n) — the hybrid engine's
 /// bottom-up sweep and MS-BFS's dense scan, where the "frontier" is
 /// every vertex and the chunk item IS the vertex id.
-inline void plan_vertex_range(WorkQueue& wq, std::size_t n, const CsrGraph& g,
+template <class Graph>
+inline void plan_vertex_range(WorkQueue& wq, std::size_t n, const Graph& g,
                               SchedulePolicy policy, std::size_t chunk_size) {
     if (policy == SchedulePolicy::kStatic) {
         wq.plan_static(n, chunk_size);

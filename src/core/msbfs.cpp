@@ -10,16 +10,20 @@
 #include "concurrency/thread_team.hpp"
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
+#include "graph/csr_compressed.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/simd_scan.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge {
 
-std::uint32_t multi_source_bfs(const CsrGraph& g,
-                               std::span<const vertex_t> sources,
-                               const MsBfsVisitor& visit,
-                               const MsBfsOptions& options) {
+namespace {
+
+template <class Graph>
+std::uint32_t multi_source_bfs_impl(const Graph& g,
+                                    std::span<const vertex_t> sources,
+                                    const MsBfsVisitor& visit,
+                                    const MsBfsOptions& options) {
     const vertex_t n = g.num_vertices();
     if (sources.empty() || sources.size() > 64)
         throw std::invalid_argument(
@@ -142,30 +146,30 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
             // Scan: spread each frontier vertex's lanes to neighbours.
             std::uint64_t scan_words = 0;
             const auto scan_vertex = [&](std::size_t vi, std::uint64_t lanes) {
-                const auto adj = g.neighbors(static_cast<vertex_t>(vi));
-                counters.edges_scanned += adj.size();
-                for (const vertex_t w : adj) {
-                    ++counters.bitmap_checks;
-                    std::uint64_t propagate =
-                        lanes & ~seen[w].load(std::memory_order_relaxed);
-                    if (propagate == 0) {
-                        // All lanes already reached w: the plain load
-                        // filtered the fetch_or, same as the bitmap
-                        // engine's double check.
-                        counters.count_skip();
-                        continue;
-                    }
-                    ++counters.atomic_ops;
-                    const std::uint64_t prev = seen[w].fetch_or(
-                        propagate, std::memory_order_acq_rel);
-                    propagate &= ~prev;  // lanes we actually won
-                    if (propagate != 0) {
-                        counters.count_win();
+                detail::scan_adjacency(
+                    g, static_cast<vertex_t>(vi), counters, [](vertex_t) {},
+                    [&](vertex_t w) {
+                        ++counters.bitmap_checks;
+                        std::uint64_t propagate =
+                            lanes & ~seen[w].load(std::memory_order_relaxed);
+                        if (propagate == 0) {
+                            // All lanes already reached w: the plain load
+                            // filtered the fetch_or, same as the bitmap
+                            // engine's double check.
+                            counters.count_skip();
+                            return;
+                        }
                         ++counters.atomic_ops;
-                        next[w].fetch_or(propagate,
-                                         std::memory_order_relaxed);
-                    }
-                }
+                        const std::uint64_t prev = seen[w].fetch_or(
+                            propagate, std::memory_order_acq_rel);
+                        propagate &= ~prev;  // lanes we actually won
+                        if (propagate != 0) {
+                            counters.count_win();
+                            ++counters.atomic_ops;
+                            next[w].fetch_or(propagate,
+                                             std::memory_order_relaxed);
+                        }
+                    });
             };
             const auto scan_span = [&](std::size_t lo, std::size_t hi) {
                 if (compact) {
@@ -271,6 +275,22 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
     if (collect)
         detail::copy_level_stats(*options.level_stats, stats, shared.levels);
     return shared.levels;
+}
+
+}  // namespace
+
+std::uint32_t multi_source_bfs(const CsrGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options) {
+    return multi_source_bfs_impl(g, sources, visit, options);
+}
+
+std::uint32_t multi_source_bfs(const CompressedCsrGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options) {
+    return multi_source_bfs_impl(g, sources, visit, options);
 }
 
 }  // namespace sge

@@ -90,4 +90,12 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
                                const MsBfsVisitor& visit,
                                const MsBfsOptions& options = {});
 
+/// Compressed-backend overload: identical semantics, decoding each
+/// adjacency row on the fly (BfsLevelStats::bytes_decoded/decode_ns
+/// report the decode work when stats are collected).
+std::uint32_t multi_source_bfs(const CompressedCsrGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options = {});
+
 }  // namespace sge

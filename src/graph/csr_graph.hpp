@@ -5,6 +5,7 @@
 
 #include "graph/types.hpp"
 #include "runtime/aligned_buffer.hpp"
+#include "runtime/prefetch.hpp"
 
 namespace sge {
 
@@ -31,6 +32,11 @@ class CsrGraph {
     CsrGraph(CsrGraph&&) noexcept = default;
     CsrGraph& operator=(CsrGraph&&) noexcept = default;
 
+    /// GraphAccessor backend marker: the engines branch `if constexpr`
+    /// on it to choose span scans here vs decode-on-scan on
+    /// CompressedCsrGraph (the `true` side, csr_compressed.hpp).
+    static constexpr bool kCompressed = false;
+
     [[nodiscard]] vertex_t num_vertices() const noexcept {
         return offsets_.empty() ? 0 : static_cast<vertex_t>(offsets_.size() - 1);
     }
@@ -47,6 +53,37 @@ class CsrGraph {
     [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const noexcept {
         return {targets_.data() + offsets_[v],
                 static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+    }
+
+    /// Calls `fn(w)` for every neighbour of `v` in storage order.
+    /// Returns the adjacency bytes touched (degree * sizeof(vertex_t))
+    /// — the same contract as CompressedCsrGraph::neighbors_for_each,
+    /// so accessor-generic code can account streamed volume uniformly.
+    template <class Fn>
+    std::size_t neighbors_for_each(vertex_t v, Fn&& fn) const noexcept {
+        const auto adj = neighbors(v);
+        for (const vertex_t w : adj) fn(w);
+        return adj.size() * sizeof(vertex_t);
+    }
+
+    /// Early-exit variant: `fn(w)` returns true to continue, false to
+    /// stop. Returns the bytes touched up to and including the stopping
+    /// element.
+    template <class Fn>
+    std::size_t neighbors_for_each_until(vertex_t v, Fn&& fn) const noexcept {
+        const auto adj = neighbors(v);
+        std::size_t i = 0;
+        while (i < adj.size()) {
+            ++i;
+            if (!fn(adj[i - 1])) break;
+        }
+        return i * sizeof(vertex_t);
+    }
+
+    /// Prefetches the adjacency metadata a scan of `v` reads first (the
+    /// offsets entry); pairs with CompressedCsrGraph::prefetch_adjacency.
+    void prefetch_adjacency(vertex_t v) const noexcept {
+        prefetch_read(&offsets_[v]);
     }
 
     /// True when edge (u, v) exists. O(log deg(u)) when the graph was

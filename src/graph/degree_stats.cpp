@@ -6,9 +6,19 @@
 
 namespace sge {
 
-DegreeStats compute_degree_stats(const CsrGraph& g) {
+namespace {
+
+// One body for both backends: degree() is O(1) on each (the compressed
+// graph keeps an explicit degree array), and each reports its own
+// representation's footprint via memory_bytes().
+template <class Graph>
+DegreeStats compute_impl(const Graph& g) {
     DegreeStats stats;
     const vertex_t n = g.num_vertices();
+    stats.memory_bytes = g.memory_bytes();
+    if (g.num_edges() != 0)
+        stats.bits_per_edge = 8.0 * static_cast<double>(stats.memory_bytes) /
+                              static_cast<double>(g.num_edges());
     if (n == 0) return stats;
 
     stats.min_degree = std::numeric_limits<std::uint64_t>::max();
@@ -28,10 +38,19 @@ DegreeStats compute_degree_stats(const CsrGraph& g) {
     return stats;
 }
 
+}  // namespace
+
+DegreeStats compute_degree_stats(const CsrGraph& g) { return compute_impl(g); }
+
+DegreeStats compute_degree_stats(const CompressedCsrGraph& g) {
+    return compute_impl(g);
+}
+
 std::string DegreeStats::describe() const {
     std::ostringstream out;
     out << "degree min=" << min_degree << " max=" << max_degree
-        << " mean=" << mean_degree << " isolated=" << isolated_vertices;
+        << " mean=" << mean_degree << " isolated=" << isolated_vertices
+        << " memory=" << memory_bytes << "B bits/edge=" << bits_per_edge;
     return out.str();
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr_compressed.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace sge {
@@ -22,9 +23,18 @@ struct DegreeStats {
     /// histogram[0] counts degree 0 and 1.
     std::vector<std::uint64_t> log2_histogram;
 
+    /// Heap footprint of the analysed representation (offsets + targets
+    /// for plain CSR; byte offsets + degrees + varint blob for the
+    /// compressed backend) and its storage cost per arc — the headline
+    /// numbers of the compression ablation, surfaced by graph_explorer
+    /// --stats.
+    std::uint64_t memory_bytes = 0;
+    double bits_per_edge = 0.0;
+
     [[nodiscard]] std::string describe() const;
 };
 
 DegreeStats compute_degree_stats(const CsrGraph& g);
+DegreeStats compute_degree_stats(const CompressedCsrGraph& g);
 
 }  // namespace sge

@@ -16,8 +16,12 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'G', 'E', 'C', 'S', 'R', '0', '1'};
 constexpr char kWeightedMagic[8] = {'S', 'G', 'E', 'W', 'S', 'R', '0', '1'};
+constexpr char kCompressedMagic[8] = {'S', 'G', 'E', 'Z', 'S', 'R', '0', '1'};
 constexpr std::uint64_t kHeaderBytes =
     sizeof(kMagic) + 2 * sizeof(std::uint64_t);  // magic + n + m
+constexpr std::uint64_t kCompressedHeaderBytes =
+    sizeof(kCompressedMagic) +
+    3 * sizeof(std::uint64_t);  // magic + n + m + blob_bytes
 
 void write_raw(std::ofstream& out, const void* p, std::size_t bytes) {
     out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
@@ -100,6 +104,78 @@ CsrGraph read_csr(const std::string& path) {
     CsrGraph g(std::move(offsets), std::move(targets));
     if (!g.well_formed())
         throw std::runtime_error("read_csr: file is not a well-formed CSR: " + path);
+    return g;
+}
+
+void write_compressed_csr(const CompressedCsrGraph& g,
+                          const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("write_compressed_csr: cannot open " + path);
+
+    const std::uint64_t n = g.num_vertices();
+    const std::uint64_t m = g.num_edges();
+    const std::uint64_t blob_bytes = g.blob().size();
+    write_raw(out, kCompressedMagic, sizeof(kCompressedMagic));
+    write_raw(out, &n, sizeof(n));
+    write_raw(out, &m, sizeof(m));
+    write_raw(out, &blob_bytes, sizeof(blob_bytes));
+    write_raw(out, g.offsets().data(),
+              g.offsets().size() * sizeof(edge_offset_t));
+    write_raw(out, g.degrees().data(), g.degrees().size() * sizeof(vertex_t));
+    write_raw(out, g.blob().data(), g.blob().size());
+}
+
+CompressedCsrGraph read_compressed_csr(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("read_compressed_csr: cannot open " + path);
+    const std::uint64_t file_bytes = stream_size(in);
+
+    char magic[8];
+    read_raw(in, magic, sizeof(magic));
+    if (std::memcmp(magic, kCompressedMagic, sizeof(kCompressedMagic)) != 0)
+        throw std::runtime_error("read_compressed_csr: bad magic in " + path);
+
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    std::uint64_t blob_bytes = 0;
+    read_raw(in, &n, sizeof(n));
+    read_raw(in, &m, sizeof(m));
+    read_raw(in, &blob_bytes, sizeof(blob_bytes));
+
+    // Same pre-allocation discipline as check_csr_header: a corrupt
+    // 32-byte header must not demand a multi-GB buffer. Every encoded
+    // edge costs at least one blob byte, so m > blob_bytes can only be
+    // a lie.
+    const auto fail = [&](const char* why) {
+        throw std::runtime_error(std::string("read_compressed_csr: ") + why +
+                                 ": " + path);
+    };
+    if (n >= kInvalidVertex) fail("vertex count out of range");
+    if (file_bytes < kCompressedHeaderBytes) fail("truncated file");
+    const std::uint64_t payload = file_bytes - kCompressedHeaderBytes;
+    const std::uint64_t offsets_bytes = (n + 1) * sizeof(edge_offset_t);
+    const std::uint64_t degrees_bytes = n * sizeof(vertex_t);
+    if (offsets_bytes > payload || degrees_bytes > payload - offsets_bytes)
+        fail("header claims more vertices than the file holds");
+    if (blob_bytes != payload - offsets_bytes - degrees_bytes)
+        fail("payload size does not match header");
+    if (m > blob_bytes) fail("header claims more edges than the blob holds");
+
+    AlignedBuffer<edge_offset_t> offsets(static_cast<std::size_t>(n) + 1);
+    AlignedBuffer<vertex_t> degrees(static_cast<std::size_t>(n));
+    AlignedBuffer<std::uint8_t> blob(static_cast<std::size_t>(blob_bytes));
+    read_raw(in, offsets.data(), offsets.size() * sizeof(edge_offset_t));
+    read_raw(in, degrees.data(), degrees.size() * sizeof(vertex_t));
+    read_raw(in, blob.data(), blob.size());
+
+    CompressedCsrGraph g(std::move(offsets), std::move(degrees),
+                         std::move(blob));
+    if (g.num_edges() != m)
+        fail("degree sum does not match the header edge count");
+    if (!g.well_formed())
+        fail("file is not a well-formed compressed CSR");
     return g;
 }
 
