@@ -1,0 +1,448 @@
+// Semi-external paged-backend ablation (docs/PERF_MODEL.md "Disk
+// regime").
+//
+// Three experiments, one per claim the backend makes:
+//
+//  1. Warm rates: the paged backend with its payload page-cache
+//     resident vs the in-memory CSR on the same engine x workload
+//     cells. This prices the mmap indirection + callback scan alone —
+//     CI guards warm paged >= 0.85x in-memory (check_bench_json.py).
+//
+//  2. Cold prefetch A/B: evict_paged() before every timed run (the
+//     --drop-caches-free cold emulation, bench_util.hpp), then the same
+//     traversal with the frontier-ahead prefetcher on vs off. Prefetch
+//     walks the next frontier at each level barrier and touches its
+//     pages from a background thread, so the stripe faults overlap the
+//     current level's discovery — it must never lose to no-prefetch.
+//
+//  3. Residency budget: a high-diameter band graph traversed level by
+//     level with the payload evicted whenever residency crosses
+//     payload/8. The traversal completes, matches the in-memory levels,
+//     and the payload was never more than fractionally resident — the
+//     semi-external regime (graph bigger than RAM) demonstrated without
+//     a cgroup.
+//
+// Every paged cell is gated on level-array identity against the
+// in-memory backend: paging must be invisible in the output.
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/paged_graph.hpp"
+#include "report.hpp"
+#include "runtime/obs.hpp"
+#include "runtime/timer.hpp"
+
+using namespace sge;
+using namespace sge::bench;
+
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kRuns = 3;
+// Cold cells pair prefetch-off/on rounds and keep the best of each
+// side; more rounds than the warm cells because eviction makes every
+// round see the host's IO and scheduler jitter in full.
+constexpr int kColdRounds = 5;
+
+std::string paged_path(const char* tag) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("sge_ablation_paged_") +
+             std::to_string(static_cast<long>(::getpid())) + "_" + tag))
+        .string();
+}
+
+std::uint64_t major_faults() {
+    struct rusage ru {};
+    ::getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_majflt);
+}
+
+vertex_t fixed_root(const CsrGraph& g) {
+    // Fixed root: the identity gate compares level arrays across
+    // backends, so every cell must traverse from the same source.
+    vertex_t root = 0;
+    while (root + 1 < g.num_vertices() && g.degree(root) == 0) ++root;
+    return root;
+}
+
+struct Cell {
+    double rate = 0.0;            // best edges/second over timed runs
+    std::uint64_t majflt = 0;     // rusage major-fault delta, all runs
+    std::vector<level_t> levels;  // for the cross-backend identity gate
+};
+
+/// Warm measurement: one untimed warmup pages everything in, then
+/// best-of-kRuns. Works for both backends through the accessor seam.
+template <class Graph>
+Cell measure_warm(const Graph& g, vertex_t root, BfsEngine engine,
+                  const Topology& topo) {
+    BfsOptions options;
+    options.engine = engine;
+    options.threads = kThreads;
+    options.topology = topo;
+    BfsRunner runner(options);
+
+    (void)runner.run(g, root);  // warmup: page in payload + state
+    Cell cell;
+    for (int i = 0; i < kRuns; ++i) {
+        const BfsResult r = runner.run(g, root);
+        cell.rate = std::max(cell.rate, r.edges_per_second());
+        if (i == 0) cell.levels = r.level;
+    }
+    return cell;
+}
+
+/// One cold traversal: evict, then run. The caller owns warmup policy.
+void cold_run(Cell& cell, const PagedGraph& g, vertex_t root,
+              BfsRunner& runner) {
+    evict_paged(g);
+    const std::uint64_t faults0 = major_faults();
+    const BfsResult r = runner.run(g, root);
+    cell.majflt += major_faults() - faults0;
+    cell.rate = std::max(cell.rate, r.edges_per_second());
+    if (cell.levels.empty()) cell.levels = r.level;
+}
+
+// ---------------------------------------------------------------------
+// Experiment 1: warm paged vs in-memory.
+// ---------------------------------------------------------------------
+
+bool warm_sweep(const char* workload, const CsrGraph& g, const Topology& topo,
+                BenchReport& report) {
+    PagedOpenOptions open;
+    open.owns_files = true;
+    open.validate_payload = false;  // just written from a validated graph
+    const PagedGraph paged =
+        make_paged(g, paged_path(workload), PagedWriteOptions{}, open);
+
+    std::printf("\nworkload: %s (%u vertices, %llu arcs; payload %s in %s "
+                "stripes)\n",
+                workload, g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()),
+                fmt_bytes(paged.payload_bytes()).c_str(),
+                fmt_bytes(PagedWriteOptions{}.stripe_bytes).c_str());
+
+    const std::pair<BfsEngine, const char*> engines[] = {
+        {BfsEngine::kBitmap, "bitmap"},
+        {BfsEngine::kHybrid, "hybrid"},
+    };
+    const vertex_t root = fixed_root(g);
+
+    bool ok = true;
+    Table table({"engine", "in-memory", "paged (warm)", "vs in-memory"});
+    for (const auto& [engine, engine_name] : engines) {
+        const Cell mem = measure_warm(g, root, engine, topo);
+        const Cell warm = measure_warm(paged, root, engine, topo);
+        if (warm.levels != mem.levels) {
+            // Paging must be invisible in the output: identical level
+            // arrays (parents may differ — any BFS tree wins races
+            // differently — but distances never do).
+            std::fprintf(stderr,
+                         "FAIL: %s/%s level arrays differ between in-memory "
+                         "and paged backends\n",
+                         engine_name, workload);
+            ok = false;
+        }
+        table.add_row({engine_name, fmt("%.1f ME/s", mem.rate / 1e6),
+                       fmt("%.1f ME/s", warm.rate / 1e6),
+                       fmt("%+.0f%%", 100.0 * (warm.rate / mem.rate - 1.0))});
+
+        const std::string cell = std::string("warm_") + engine_name + "_" +
+                                 workload;
+        report.add(cell, {{"threads", kThreads}, {"paged", 0}},
+                   {{"edges_per_second", mem.rate}});
+        report.add(cell, {{"threads", kThreads}, {"paged", 1}},
+                   {{"edges_per_second", warm.rate}});
+    }
+    table.print();
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Experiment 2: cold runs, prefetch on vs off.
+// ---------------------------------------------------------------------
+
+bool cold_sweep(const char* workload, const CsrGraph& g, const Topology& topo,
+                BenchReport& report) {
+    // One set of stripe files, one mapping alive at a time: a second
+    // concurrent mapping would keep the payload's page-cache pages
+    // referenced, and evict_paged() could never produce a real cold
+    // start. Neither reader owns the files; swept explicitly at the end.
+    const std::string path = paged_path((std::string("cold_") + workload).c_str());
+    write_paged_graph(g, path, PagedWriteOptions{});
+    PagedOpenOptions open;
+    open.validate_payload = false;
+
+    const vertex_t root = fixed_root(g);
+    // The identity reference: one in-memory traversal of the same cell.
+    const Cell mem = measure_warm(g, root, BfsEngine::kBitmap, topo);
+
+    BfsOptions options;
+    options.engine = BfsEngine::kBitmap;
+    options.threads = kThreads;
+    options.topology = topo;
+    BfsRunner runner(options);  // one runner: workspace reused throughout
+
+    // Paired rounds, alternating prefetch off/on, so scheduler drift on
+    // a time-shared host hits both sides of the comparison equally.
+    // Only one mapping is alive at a time: a second concurrent mapping
+    // of the same stripes would keep the payload's page-cache pages
+    // referenced and evict_paged() could never produce a real cold
+    // start. Best-of-rounds on each side, like every other rate cell.
+    Cell off, on;
+    std::size_t payload = 0;
+    std::uint64_t issued = 0, hits = 0, stripe_reads = 0, bytes_mapped = 0;
+    for (int round = 0; round < kColdRounds; ++round) {
+        {
+            open.prefetch = false;
+            const PagedGraph without = open_paged_graph(path, open);
+            if (round == 0) {
+                payload = without.payload_bytes();
+                evict_paged(without);
+                (void)runner.run(without, root);  // workspace, off the clock
+            }
+            cold_run(off, without, root, runner);
+        }
+        {
+            open.prefetch = true;
+            const PagedGraph with_prefetch = open_paged_graph(path, open);
+            cold_run(on, with_prefetch, root, runner);
+            const PagedIoStats& io = with_prefetch.io_stats();
+            issued += io.prefetch_issued.load();
+            hits += io.prefetch_hits.load();
+            stripe_reads += io.stripe_reads.load();
+            bytes_mapped = io.bytes_mapped.load();
+        }
+    }
+
+    bool ok = true;
+    if (on.levels != mem.levels || off.levels != mem.levels) {
+        std::fprintf(stderr,
+                     "FAIL: cold %s level arrays differ from the in-memory "
+                     "backend\n",
+                     workload);
+        ok = false;
+    }
+    if (hits > issued) {
+        std::fprintf(stderr,
+                     "FAIL: cold %s prefetch_hits %llu > prefetch_issued "
+                     "%llu\n",
+                     workload, static_cast<unsigned long long>(hits),
+                     static_cast<unsigned long long>(issued));
+        ok = false;
+    }
+
+    std::printf("\ncold runs, %s (payload %s evicted before every run):\n",
+                workload, fmt_bytes(payload).c_str());
+    Table table({"prefetch", "rate", "vs off", "major faults", "pages issued",
+                 "already resident"});
+    table.add_row({"off", fmt("%.1f ME/s", off.rate / 1e6), "-",
+                   fmt_u64(off.majflt), "-", "-"});
+    table.add_row({"on", fmt("%.1f ME/s", on.rate / 1e6),
+                   fmt("%+.0f%%", 100.0 * (on.rate / off.rate - 1.0)),
+                   fmt_u64(on.majflt), fmt_u64(issued), fmt_u64(hits)});
+    table.print();
+    if (std::thread::hardware_concurrency() <= 1)
+        std::printf("note: single-CPU host — the prefetcher issues WILLNEED "
+                    "inline and its win shows as absorbed major faults, not "
+                    "rate; rate overlap needs a free hart "
+                    "(docs/PERF_MODEL.md, disk regime)\n");
+
+    const std::string cell = std::string("cold_bitmap_") + workload;
+    report.add(cell,
+               {{"threads", kThreads}, {"paged", 1}, {"prefetch", 0}},
+               {{"edges_per_second", off.rate},
+                {"major_faults", static_cast<double>(off.majflt)}});
+    report.add(cell,
+               {{"threads", kThreads}, {"paged", 1}, {"prefetch", 1}},
+               {{"edges_per_second", on.rate},
+                {"major_faults", static_cast<double>(on.majflt)},
+                {"prefetch_issued", static_cast<double>(issued)},
+                {"prefetch_hits", static_cast<double>(hits)},
+                {"stripe_reads", static_cast<double>(stripe_reads)},
+                {"bytes_mapped", static_cast<double>(bytes_mapped)}});
+
+    remove_paged_files(path);
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Experiment 3: traversal under a residency budget.
+// ---------------------------------------------------------------------
+
+/// n vertices, each connected to its `half_width` successors (both
+/// directions): diameter ~ n / half_width, so a level-synchronous BFS
+/// touches a thin moving window of the payload — the shape that lets a
+/// semi-external traversal hold residency far below the payload size.
+CsrGraph band_graph(std::uint64_t n, std::uint32_t half_width) {
+    EdgeList edges(static_cast<vertex_t>(n));
+    edges.reserve(static_cast<std::size_t>(n) * 2 * half_width);
+    for (std::uint64_t v = 0; v < n; ++v)
+        for (std::uint32_t k = 1; k <= half_width; ++k) {
+            if (v + k >= n) break;
+            edges.add(static_cast<vertex_t>(v), static_cast<vertex_t>(v + k));
+            edges.add(static_cast<vertex_t>(v + k), static_cast<vertex_t>(v));
+        }
+    return csr_from_edges(edges);
+}
+
+bool budget_run(const Topology& topo, BenchReport& report) {
+    // 8 MB of payload: large against the kernel's sequential readahead
+    // window (~128 KB), which is what mincore reports as resident the
+    // moment a fault lands near it — at smaller payloads readahead
+    // alone counts as half the file and drowns the measurement.
+    const std::uint64_t n = scaled(1 << 18);
+    const CsrGraph band = band_graph(n, 4);
+
+    // Small stripes so the report shows real striping even at CI scale.
+    PagedWriteOptions write;
+    write.stripe_bytes = std::size_t{256} << 10;
+    PagedOpenOptions open;
+    open.owns_files = true;
+    open.validate_payload = false;
+    open.prefetch = false;  // a WILLNEED batch would repopulate behind evict()
+    const PagedGraph paged =
+        make_paged(band, paged_path("band"), write, open);
+
+    const std::size_t payload = paged.payload_bytes();
+    const std::size_t budget = std::max<std::size_t>(payload / 8, 64 << 10);
+
+    // Level-synchronous traversal, enforcing the budget at each level
+    // barrier: whenever mincore says residency crossed it, drop the
+    // payload. Correctness cannot suffer — evicted pages fault straight
+    // back in on the next touch.
+    std::vector<level_t> level(band.num_vertices(), kInvalidLevel);
+    std::vector<vertex_t> cur, next;
+    const vertex_t root = fixed_root(band);
+    level[root] = 0;
+    cur.push_back(root);
+    evict_paged(paged);
+
+    WallTimer timer;
+    std::size_t peak_resident = 0;
+    std::uint64_t evictions = 0;
+    level_t depth = 0;
+    while (!cur.empty()) {
+        for (const vertex_t u : cur)
+            paged.neighbors_for_each(u, [&](vertex_t v) {
+                if (level[v] == kInvalidLevel) {
+                    level[v] = depth + 1;
+                    next.push_back(v);
+                }
+            });
+        // Sample residency every 16 levels: one mincore sweep per
+        // sample, and the band advances ~one page per 16 levels, so the
+        // peak estimate stays tight without billing a sweep per level.
+        if ((depth & 15u) == 0) {
+            const std::size_t resident = paged.resident_payload_bytes();
+            peak_resident = std::max(peak_resident, resident);
+            if (resident > budget) {
+                paged.evict();
+                ++evictions;
+            }
+        }
+        cur.swap(next);
+        next.clear();
+        ++depth;
+    }
+    const double seconds = timer.seconds();
+
+    // The traversal must agree with the in-memory backend...
+    BfsOptions serial;
+    serial.engine = BfsEngine::kSerial;
+    serial.topology = topo;
+    const BfsResult reference = sge::bfs(band, root, serial);
+    bool ok = true;
+    if (reference.level != level) {
+        std::fprintf(stderr,
+                     "FAIL: budget traversal levels differ from the "
+                     "in-memory serial backend\n");
+        ok = false;
+    }
+    // ...and the payload must have stayed mostly on disk: that is the
+    // semi-external claim. 2x headroom over the sampled peak keeps the
+    // gate honest about sampling skew.
+    if (peak_resident * 2 > payload) {
+        std::fprintf(stderr,
+                     "FAIL: peak residency %zu B is not below half the "
+                     "payload %zu B — the budget run never left the "
+                     "in-memory regime\n",
+                     peak_resident, payload);
+        ok = false;
+    }
+
+    std::printf("\nresidency budget (band graph, %llu vertices, diameter "
+                "%u):\n",
+                static_cast<unsigned long long>(n), depth);
+    Table table({"quantity", "value"});
+    table.add_row({"payload on disk", fmt_bytes(payload)});
+    table.add_row({"residency budget", fmt_bytes(budget)});
+    table.add_row({"peak resident (sampled)", fmt_bytes(peak_resident)});
+    table.add_row({"evictions", fmt_u64(evictions)});
+    table.add_row({"traversal", fmt("%.3f s", seconds)});
+    table.print();
+    std::printf("BFS completed with at most %.0f%% of the payload resident\n",
+                100.0 * static_cast<double>(peak_resident) /
+                    static_cast<double>(payload));
+
+    report.add("budget_band", {{"threads", 1}, {"paged", 1}},
+               {{"payload_bytes", static_cast<double>(payload)},
+                {"budget_bytes", static_cast<double>(budget)},
+                {"peak_resident_bytes", static_cast<double>(peak_resident)},
+                {"evictions", static_cast<double>(evictions)},
+                {"levels", static_cast<double>(depth)},
+                {"seconds", seconds}});
+    return ok;
+}
+
+}  // namespace
+
+int main() {
+    banner("Ablation: semi-external paged backend",
+           "striped mmap adjacency + frontier-ahead prefetch, "
+           "docs/PERF_MODEL.md");
+
+    // Two emulated sockets, 8 workers: the same shape as the other
+    // ablations, so rates are comparable across reports.
+    const Topology topo = Topology::emulate(2, 2, 2);
+    std::printf("topology: %s, %d threads, %d timed runs per cell\n",
+                topo.describe().c_str(), kThreads, kRuns);
+
+    BenchReport report("ablation_paged", "paged-backend ablation");
+    report.set_topology(topo.describe());
+
+    const std::uint64_t n = scaled(1 << 14);
+    const CsrGraph uniform = uniform_graph(n, 8 * n);
+    const CsrGraph rmat = rmat_graph(n, 16 * n);
+    // The cold cell is R-MAT only, 4x larger so the evicted payload is
+    // big enough for the prefetch overlap to be measurable. R-MAT is
+    // the workload the prefetcher exists for: its shuffled frontier
+    // touches payload pages in scattered order, which kernel readahead
+    // cannot anticipate but the frontier walk can. (A uniform/band
+    // cold cell reads near-sequentially, readahead already covers it,
+    // and the prefetch thread is pure contention there.)
+    const std::uint64_t n_cold = scaled(1 << 16);
+    const CsrGraph rmat_cold = rmat_graph(n_cold, 16 * n_cold);
+    report.set_workload("uniform+rmat+band", n);
+
+    bool ok = warm_sweep("uniform", uniform, topo, report);
+    ok = warm_sweep("rmat", rmat, topo, report) && ok;
+    ok = cold_sweep("rmat", rmat_cold, topo, report) && ok;
+    ok = budget_run(topo, report) && ok;
+
+    report.write();
+    return ok ? 0 : 1;
+}

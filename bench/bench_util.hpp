@@ -18,6 +18,7 @@
 #include "gen/rmat.hpp"
 #include "gen/uniform.hpp"
 #include "graph/builder.hpp"
+#include "graph/paged_graph.hpp"
 #include "runtime/env.hpp"
 #include "runtime/prng.hpp"
 
@@ -79,6 +80,18 @@ inline double bfs_rate(const CsrGraph& g, const BfsOptions& options,
                        int runs = 2, std::uint64_t seed = 99) {
     BfsRunner runner(options);
     return bfs_rate(g, runner, runs, seed);
+}
+
+/// --drop-caches-free cold-run emulation. Drops the paged graph's
+/// mapped payload (MADV_DONTNEED) and the stripes' page-cache copies
+/// (fdatasync + POSIX_FADV_DONTNEED), so the next traversal re-reads
+/// every touched page from the filesystem — the measurable part of a
+/// cold start — without needing root for /proc/sys/vm/drop_caches.
+/// Quiesces the prefetcher first so an in-flight WILLNEED batch cannot
+/// re-populate pages behind the eviction.
+inline void evict_paged(const PagedGraph& g) {
+    g.prefetch_quiesce();
+    g.evict();
 }
 
 // ---------------------------------------------------------------------

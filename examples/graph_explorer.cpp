@@ -10,10 +10,13 @@
 //   graph_explorer --load mygraph.csr --engine bitmap --threads 4
 //   graph_explorer --gen grid --width 1024 --height 1024 --save grid.csr
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <vector>
@@ -29,7 +32,9 @@
 #include "graph/builder.hpp"
 #include "graph/degree_stats.hpp"
 #include "graph/io.hpp"
+#include "graph/paged_graph.hpp"
 #include "graph/reorder.hpp"
+#include "runtime/env.hpp"
 #include "runtime/prng.hpp"
 #include "runtime/timer.hpp"
 #include "service/graph_service.hpp"
@@ -59,6 +64,7 @@ struct Cli {
     int runs = 3;
     std::uint64_t seed = 1;
     bool compress = false;           // delta+varint adjacency backend
+    bool paged = false;              // semi-external mmap backend (SGEPGR01)
     std::string save_compressed;     // write the encoded graph (SGEZSR01)
     bool validate = false;
     bool stats = false;       // per-level counter table after the last run
@@ -86,7 +92,7 @@ struct Cli {
         "          [--chunk N] [--bottomup-chunk N] [--alpha X] [--beta X]\n"
         "          [--scale N] [--edges N] [--vertices N] [--degree N]\n"
         "          [--width N] [--height N] [--seed N] [--validate]\n"
-        "          [--compress] [--save-compressed FILE]\n"
+        "          [--compress] [--save-compressed FILE] [--paged]\n"
         "          [--stats] [--trace FILE.json]\n"
         "          [--serve N] [--serve-workers N] [--serve-queue N]\n"
         "          [--serve-window MS] [--serve-deadline MS]\n"
@@ -107,7 +113,15 @@ struct Cli {
         "                    (defaults 14, 24; Beamer et al.)\n"
         "  --compress        run on the delta+varint compressed CSR\n"
         "                    backend (decode-on-scan; trades varint ALU\n"
-        "                    for DRAM bytes — wins when bandwidth-bound)\n",
+        "                    for DRAM bytes — wins when bandwidth-bound)\n"
+        "  --paged           run on the semi-external paged backend: the\n"
+        "                    adjacency payload is spilled to striped\n"
+        "                    files ($SGE_PAGED_DIR or the system temp\n"
+        "                    dir), mmap'd back, and prefetched one\n"
+        "                    frontier ahead — for graphs whose payload\n"
+        "                    exceeds RAM. Combine with --compress to\n"
+        "                    page the varint blob instead of plain\n"
+        "                    targets\n",
         argv0);
     std::exit(2);
 }
@@ -144,6 +158,7 @@ Cli parse(int argc, char** argv) {
         else if (arg == "--runs") cli.runs = std::atoi(next());
         else if (arg == "--seed") cli.seed = std::strtoull(next(), nullptr, 10);
         else if (arg == "--compress") cli.compress = true;
+        else if (arg == "--paged") cli.paged = true;
         else if (arg == "--save-compressed") cli.save_compressed = next();
         else if (arg == "--validate") cli.validate = true;
         else if (arg == "--stats") cli.stats = true;
@@ -311,6 +326,32 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Spill + map the payload when the paged backend is requested. The
+    // explorer owns the PagedGraph directly (instead of letting the
+    // runner spill internally through GraphBackend::kPaged) so it can
+    // report the prefetcher's io counters after the runs.
+    PagedGraph pgraph;
+    if (cli.paged) {
+        const std::string dir = env_string("SGE_PAGED_DIR")
+                                    .value_or(std::filesystem::temp_directory_path()
+                                                  .string());
+        const std::string path =
+            (std::filesystem::path(dir) /
+             ("graph_explorer_paged_" +
+              std::to_string(static_cast<long>(::getpid()))))
+                .string();
+        PagedWriteOptions wopt;
+        wopt.payload = cli.compress ? PagedPayload::kVarintBlob
+                                    : PagedPayload::kPlainTargets;
+        PagedOpenOptions oopt;
+        oopt.owns_files = true;
+        oopt.validate_payload = false;  // just written from this process
+        pgraph = make_paged(graph, path, wopt, oopt);
+        std::printf("paged: %s payload, %zu B in %zu KB stripes at %s\n",
+                    to_string(wopt.payload).c_str(), pgraph.payload_bytes(),
+                    wopt.stripe_bytes >> 10, path.c_str());
+    }
+
     BfsOptions options;
     options.engine = parse_engine(cli.engine);
     options.topology = parse_topology(cli.topology);
@@ -321,7 +362,11 @@ int main(int argc, char** argv) {
     options.bottomup_chunk = cli.bottomup_chunk;
     if (cli.alpha > 0) options.hybrid_alpha = cli.alpha;
     if (cli.beta > 0) options.hybrid_beta = cli.beta;
-    if (cli.compress) options.backend = GraphBackend::kCompressed;
+    if (cli.paged)
+        options.backend = cli.compress ? GraphBackend::kPagedCompressed
+                                       : GraphBackend::kPaged;
+    else if (cli.compress)
+        options.backend = GraphBackend::kCompressed;
     // --stats/--trace honour the SGE_OBS=0 runtime master switch.
     const bool instrument =
         (cli.stats || !cli.trace.empty()) && obs::enabled();
@@ -406,7 +451,9 @@ int main(int argc, char** argv) {
             root = static_cast<vertex_t>(rng.next_below(graph.num_vertices()));
         } while (graph.degree(root) == 0);
 
-        if (cli.compress)
+        if (cli.paged)
+            runner.run_into(result, pgraph, root);
+        else if (cli.compress)
             runner.run_into(result, zgraph, root);
         else
             runner.run_into(result, graph, root);
@@ -429,6 +476,16 @@ int main(int argc, char** argv) {
         if (instrument && run + 1 == cli.runs) last = std::move(result);
     }
     std::printf("best: %.1f million edges/second\n", best);
+
+    if (cli.paged) {
+        const PagedIoStats& io = pgraph.io_stats();
+        std::printf("paged io: %llu stripe reads, %llu pages prefetch-issued "
+                    "(%llu already resident), %llu B mapped\n",
+                    static_cast<unsigned long long>(io.stripe_reads.load()),
+                    static_cast<unsigned long long>(io.prefetch_issued.load()),
+                    static_cast<unsigned long long>(io.prefetch_hits.load()),
+                    static_cast<unsigned long long>(io.bytes_mapped.load()));
+    }
 
     if (instrument && cli.stats) {
         std::printf("\nper-level counters (last run%s):\n",

@@ -1,12 +1,19 @@
 #include "core/bfs.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <stdexcept>
+#include <string>
 
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
+#include "runtime/env.hpp"
 
 namespace sge {
 
@@ -34,6 +41,8 @@ std::string to_string(GraphBackend backend) {
     switch (backend) {
         case GraphBackend::kPlain: return "plain";
         case GraphBackend::kCompressed: return "compressed";
+        case GraphBackend::kPaged: return "paged";
+        case GraphBackend::kPagedCompressed: return "paged_compressed";
     }
     return "unknown";
 }
@@ -101,6 +110,12 @@ BfsResult BfsRunner::run(const CompressedCsrGraph& g, vertex_t root) {
     return result;
 }
 
+BfsResult BfsRunner::run(const PagedGraph& g, vertex_t root) {
+    BfsResult result;
+    run_into(result, g, root);
+    return result;
+}
+
 const CompressedCsrGraph& BfsRunner::compressed_for(const CsrGraph& g) {
     const void* tag = g.offsets().data();
     if (!compressed_ || compressed_tag_ != tag ||
@@ -113,16 +128,60 @@ const CompressedCsrGraph& BfsRunner::compressed_for(const CsrGraph& g) {
     return *compressed_;
 }
 
+const PagedGraph& BfsRunner::paged_for(const CsrGraph& g, bool compressed) {
+    const void* tag = g.offsets().data();
+    if (!paged_ || paged_tag_ != tag || paged_compressed_ != compressed ||
+        paged_n_ != g.num_vertices() || paged_m_ != g.num_edges()) {
+        // Unique spill basename: pid + a process-wide counter, under
+        // $SGE_PAGED_DIR or the system temp dir. owns_files unlinks the
+        // manifest and stripes when the cached graph is replaced or the
+        // runner dies; validate_payload is skipped because the payload
+        // was written a microsecond ago from a validated graph.
+        static std::atomic<std::uint64_t> counter{0};
+        std::string dir = env_string("SGE_PAGED_DIR").value_or("");
+        if (dir.empty()) dir = std::filesystem::temp_directory_path().string();
+        const std::string path =
+            dir + "/sge_paged_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+        PagedWriteOptions wopts;
+        wopts.payload = compressed ? PagedPayload::kVarintBlob
+                                   : PagedPayload::kPlainTargets;
+        PagedOpenOptions oopts;
+        oopts.validate_payload = false;
+        oopts.owns_files = true;
+        paged_ = std::make_unique<PagedGraph>(make_paged(g, path, wopts, oopts));
+        paged_tag_ = tag;
+        paged_compressed_ = compressed;
+        paged_n_ = g.num_vertices();
+        paged_m_ = g.num_edges();
+    }
+    return *paged_;
+}
+
 void BfsRunner::run_into(BfsResult& result, const CsrGraph& g, vertex_t root) {
     if (options_.backend == GraphBackend::kCompressed) {
         detail::check_root(g, root);  // validate before paying the encode
         run_into_impl(result, compressed_for(g), root);
         return;
     }
+    if (options_.backend == GraphBackend::kPaged ||
+        options_.backend == GraphBackend::kPagedCompressed) {
+        detail::check_root(g, root);  // validate before paying the spill
+        run_into_impl(
+            result,
+            paged_for(g, options_.backend == GraphBackend::kPagedCompressed),
+            root);
+        return;
+    }
     run_into_impl(result, g, root);
 }
 
 void BfsRunner::run_into(BfsResult& result, const CompressedCsrGraph& g,
+                         vertex_t root) {
+    run_into_impl(result, g, root);
+}
+
+void BfsRunner::run_into(BfsResult& result, const PagedGraph& g,
                          vertex_t root) {
     run_into_impl(result, g, root);
 }
@@ -165,6 +224,11 @@ BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options) {
 
 BfsResult bfs(const CompressedCsrGraph& g, vertex_t root,
               const BfsOptions& options) {
+    BfsRunner runner(options);
+    return runner.run(g, root);
+}
+
+BfsResult bfs(const PagedGraph& g, vertex_t root, const BfsOptions& options) {
     BfsRunner runner(options);
     return runner.run(g, root);
 }

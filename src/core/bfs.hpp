@@ -18,6 +18,7 @@
 namespace sge {
 
 class CompressedCsrGraph;  // graph/csr_compressed.hpp
+class PagedGraph;          // graph/paged_graph.hpp
 
 /// Which BFS implementation to run.
 enum class BfsEngine {
@@ -57,6 +58,14 @@ enum class GraphBackend {
     /// net win when the scan is bandwidth-bound (docs/PERF_MODEL.md
     /// "Bytes vs ALU").
     kCompressed,
+    /// Semi-external PagedGraph over the plain targets[] payload: the
+    /// adjacency bytes live in striped memory-mapped spill files with a
+    /// frontier-ahead async prefetcher; only byte offsets + degrees
+    /// stay resident (docs/PERF_MODEL.md "Disk regime").
+    kPaged,
+    /// Semi-external PagedGraph over the delta+varint payload: the
+    /// compressed blob on disk — the fewest bytes faulted per scan.
+    kPagedCompressed,
 };
 
 [[nodiscard]] std::string to_string(GraphBackend backend);
@@ -400,12 +409,17 @@ class BfsRunner {
     /// whatever BfsOptions::backend says).
     BfsResult run(const CompressedCsrGraph& g, vertex_t root);
 
+    /// Runs over an already-opened paged graph (semi-external scan,
+    /// whatever BfsOptions::backend says).
+    BfsResult run(const PagedGraph& g, vertex_t root);
+
     /// Runs a BFS from `root` into caller-owned `result`, reusing its
     /// buffers (no allocation on back-to-back queries over one graph).
     /// The previous contents of `result` are discarded.
     void run_into(BfsResult& result, const CsrGraph& g, vertex_t root);
     void run_into(BfsResult& result, const CompressedCsrGraph& g,
                   vertex_t root);
+    void run_into(BfsResult& result, const PagedGraph& g, vertex_t root);
 
     [[nodiscard]] const BfsOptions& options() const noexcept { return options_; }
 
@@ -438,6 +452,13 @@ class BfsRunner {
     /// (offsets address + shape) changed since the last query.
     const CompressedCsrGraph& compressed_for(const CsrGraph& g);
 
+    /// run(const CsrGraph&) with backend == kPaged / kPagedCompressed:
+    /// returns the cached spill of `g` — written once to
+    /// $SGE_PAGED_DIR (default: the system temp directory) and
+    /// re-spilled only when the graph identity changed. The spill files
+    /// are owned by the cached graph and unlinked with it.
+    const PagedGraph& paged_for(const CsrGraph& g, bool compressed);
+
     BfsOptions options_;
     Topology topology_;
     std::unique_ptr<ThreadTeam> team_;  // null for serial-only runners
@@ -448,11 +469,20 @@ class BfsRunner {
     const void* compressed_tag_ = nullptr;  // source offsets address
     vertex_t compressed_n_ = 0;
     std::uint64_t compressed_m_ = 0;
+
+    // Cached spill for the backend == kPaged* plain-graph paths.
+    std::unique_ptr<PagedGraph> paged_;
+    const void* paged_tag_ = nullptr;  // source offsets address
+    bool paged_compressed_ = false;
+    vertex_t paged_n_ = 0;
+    std::uint64_t paged_m_ = 0;
 };
 
 /// One-shot convenience wrapper around BfsRunner.
 BfsResult bfs(const CsrGraph& g, vertex_t root, const BfsOptions& options = {});
 BfsResult bfs(const CompressedCsrGraph& g, vertex_t root,
+              const BfsOptions& options = {});
+BfsResult bfs(const PagedGraph& g, vertex_t root,
               const BfsOptions& options = {});
 
 /// Builds a Chrome trace-event timeline from an instrumented run (run
@@ -478,14 +508,22 @@ void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 BfsResult& result);
 void bfs_serial(const CompressedCsrGraph& g, vertex_t root,
                 const BfsOptions& options, BfsResult& result);
+void bfs_serial(const PagedGraph& g, vertex_t root,
+                const BfsOptions& options, BfsResult& result);
 void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
 void bfs_naive(const CompressedCsrGraph& g, vertex_t root,
                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
                BfsResult& result);
+void bfs_naive(const PagedGraph& g, vertex_t root,
+               const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+               BfsResult& result);
 void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
 void bfs_bitmap(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+                BfsResult& result);
+void bfs_bitmap(const PagedGraph& g, vertex_t root,
                 const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
                 BfsResult& result);
 void bfs_multisocket(const CsrGraph& g, vertex_t root,
@@ -494,9 +532,15 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
 void bfs_multisocket(const CompressedCsrGraph& g, vertex_t root,
                      const BfsOptions& options, ThreadTeam& team,
                      BfsWorkspace& ws, BfsResult& result);
+void bfs_multisocket(const PagedGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result);
 void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
                 ThreadTeam& team, BfsWorkspace& ws, BfsResult& result);
 void bfs_hybrid(const CompressedCsrGraph& g, vertex_t root,
+                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
+                BfsResult& result);
+void bfs_hybrid(const PagedGraph& g, vertex_t root,
                 const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
                 BfsResult& result);
 

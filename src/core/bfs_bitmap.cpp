@@ -7,6 +7,7 @@
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
@@ -190,6 +191,7 @@ void bfs_bitmap_impl(const Graph& g, vertex_t root, const BfsOptions& options,
                         nq.size();
                     plan_frontier(wq, nq.data(), nq.size(), g,
                                   options.schedule, chunk);
+                    prefetch_next_frontier(g, nq.data(), nq.size());
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;
@@ -242,6 +244,11 @@ void bfs_bitmap(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 void bfs_bitmap(const CompressedCsrGraph& g, vertex_t root,
                 const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
                 BfsResult& result) {
+    bfs_bitmap_impl(g, root, options, team, ws, result);
+}
+
+void bfs_bitmap(const PagedGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     bfs_bitmap_impl(g, root, options, team, ws, result);
 }
 

@@ -8,6 +8,7 @@
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/simd_scan.hpp"
@@ -380,10 +381,17 @@ void bfs_hybrid_impl(const Graph& g, vertex_t root, const BfsOptions& options,
                     // and the bits->queue harvest). After a harvest the
                     // queue does not exist yet — it is planned in the
                     // conversion phase below instead.
-                    if (next == Direction::kTopDown && !shared.convert_to_queue)
+                    if (next == Direction::kTopDown &&
+                        !shared.convert_to_queue) {
                         plan_frontier(wq, queues[1 - cur].data(),
                                       queues[1 - cur].size(), g,
                                       options.schedule, chunk);
+                        // Bottom-up levels sweep the whole vertex range,
+                        // so only queue-borne (top-down) frontiers are
+                        // worth handing to the paged prefetcher.
+                        prefetch_next_frontier(g, queues[1 - cur].data(),
+                                               queues[1 - cur].size());
+                    }
                     if (next == Direction::kBottomUp ||
                         shared.convert_to_queue) {
                         if (!ws.range_planned) {
@@ -465,6 +473,8 @@ void bfs_hybrid_impl(const Graph& g, vertex_t root, const BfsOptions& options,
                         now_cq.set_size(fc.total());
                         plan_frontier(wq, now_cq.data(), now_cq.size(), g,
                                       options.schedule, chunk);
+                        prefetch_next_frontier(g, now_cq.data(),
+                                               now_cq.size());
                     }
                     if (!timed_wait(barrier, slot, collect)) return;
                 } else {
@@ -488,9 +498,12 @@ void bfs_hybrid_impl(const Graph& g, vertex_t root, const BfsOptions& options,
                     if (!timed_wait(barrier, slot, collect)) return;
                     // The harvested queue only exists now: cut its plan
                     // for the top-down level about to start.
-                    if (tid == 0)
+                    if (tid == 0) {
                         plan_frontier(wq, now_cq.data(), now_cq.size(), g,
                                       options.schedule, chunk);
+                        prefetch_next_frontier(g, now_cq.data(),
+                                               now_cq.size());
+                    }
                     if (!timed_wait(barrier, slot, collect)) return;
                 }
             }
@@ -541,6 +554,11 @@ void bfs_hybrid(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 void bfs_hybrid(const CompressedCsrGraph& g, vertex_t root,
                 const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
                 BfsResult& result) {
+    bfs_hybrid_impl(g, root, options, team, ws, result);
+}
+
+void bfs_hybrid(const PagedGraph& g, vertex_t root, const BfsOptions& options,
+                ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     bfs_hybrid_impl(g, root, options, team, ws, result);
 }
 

@@ -8,6 +8,7 @@
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
@@ -291,6 +292,11 @@ void bfs_multisocket_impl(const Graph& g, vertex_t root,
                         plan_frontier(*wqs[s], queues[1 - cur][s].data(),
                                       queues[1 - cur][s].size(), g,
                                       options.schedule, chunk);
+                    // Per-socket queues are handed over one by one; the
+                    // prefetcher appends unprocessed same-level parts.
+                    for (int s = 0; s < sockets; ++s)
+                        prefetch_next_frontier(g, queues[1 - cur][s].data(),
+                                               queues[1 - cur][s].size());
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;
@@ -341,6 +347,12 @@ void bfs_multisocket(const CsrGraph& g, vertex_t root,
 }
 
 void bfs_multisocket(const CompressedCsrGraph& g, vertex_t root,
+                     const BfsOptions& options, ThreadTeam& team,
+                     BfsWorkspace& ws, BfsResult& result) {
+    bfs_multisocket_impl(g, root, options, team, ws, result);
+}
+
+void bfs_multisocket(const PagedGraph& g, vertex_t root,
                      const BfsOptions& options, ThreadTeam& team,
                      BfsWorkspace& ws, BfsResult& result) {
     bfs_multisocket_impl(g, root, options, team, ws, result);

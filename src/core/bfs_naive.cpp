@@ -6,6 +6,7 @@
 #include "core/engine_common.hpp"
 #include "core/frontier.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "graph/partition.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/timer.hpp"
@@ -189,6 +190,7 @@ void bfs_naive_impl(const Graph& g, vertex_t root, const BfsOptions& options,
                         nq.size();
                     plan_frontier(wq, nq.data(), nq.size(), g,
                                   options.schedule, 1);
+                    prefetch_next_frontier(g, nq.data(), nq.size());
                 }
             }
             if (!timed_wait(barrier, slot, collect)) return;
@@ -246,6 +248,11 @@ void bfs_naive(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 void bfs_naive(const CompressedCsrGraph& g, vertex_t root,
                const BfsOptions& options, ThreadTeam& team, BfsWorkspace& ws,
                BfsResult& result) {
+    bfs_naive_impl(g, root, options, team, ws, result);
+}
+
+void bfs_naive(const PagedGraph& g, vertex_t root, const BfsOptions& options,
+               ThreadTeam& team, BfsWorkspace& ws, BfsResult& result) {
     bfs_naive_impl(g, root, options, team, ws, result);
 }
 

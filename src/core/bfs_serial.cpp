@@ -1,5 +1,6 @@
 #include "core/engine_common.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "runtime/timer.hpp"
 
 namespace sge::detail {
@@ -76,6 +77,7 @@ void bfs_serial_impl(const Graph& g, vertex_t root, const BfsOptions& options,
         ++depth;
         current.swap(next);
         next.clear();
+        prefetch_next_frontier(g, current.data(), current.size());
         // Same once-per-level cadence as the parallel engines' tid-0
         // window, so fire_after_polls(k) means "cancel at level k" here
         // too. Polled after the swap so a finished traversal is never
@@ -97,6 +99,11 @@ void bfs_serial(const CsrGraph& g, vertex_t root, const BfsOptions& options,
 
 void bfs_serial(const CompressedCsrGraph& g, vertex_t root,
                 const BfsOptions& options, BfsResult& result) {
+    bfs_serial_impl(g, root, options, result);
+}
+
+void bfs_serial(const PagedGraph& g, vertex_t root, const BfsOptions& options,
+                BfsResult& result) {
     bfs_serial_impl(g, root, options, result);
 }
 

@@ -4,6 +4,7 @@
 
 #include "concurrency/thread_team.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "graph/partition.hpp"
 
 namespace sge {
@@ -42,6 +43,11 @@ void BfsWorkspace::prepare(const CsrGraph& g, BfsEngine engine,
 }
 
 void BfsWorkspace::prepare(const CompressedCsrGraph& g, BfsEngine engine,
+                           const BfsOptions& options, ThreadTeam& team) {
+    prepare_impl(g, engine, options, team);
+}
+
+void BfsWorkspace::prepare(const PagedGraph& g, BfsEngine engine,
                            const BfsOptions& options, ThreadTeam& team) {
     prepare_impl(g, engine, options, team);
 }
@@ -362,6 +368,11 @@ void BfsWorkspace::prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
 
 void BfsWorkspace::prepare_ms(const CompressedCsrGraph& g,
                               SchedulePolicy schedule, ThreadTeam& team) {
+    prepare_ms_impl(g, schedule, team);
+}
+
+void BfsWorkspace::prepare_ms(const PagedGraph& g, SchedulePolicy schedule,
+                              ThreadTeam& team) {
     prepare_ms_impl(g, schedule, team);
 }
 

@@ -56,12 +56,16 @@ class BfsWorkspace {
                  ThreadTeam& team);
     void prepare(const CompressedCsrGraph& g, BfsEngine engine,
                  const BfsOptions& options, ThreadTeam& team);
+    void prepare(const PagedGraph& g, BfsEngine engine,
+                 const BfsOptions& options, ThreadTeam& team);
 
     /// Readies the MS-BFS lane buffers (seen/frontier/next masks) and
     /// the dense-scan plan for one multi_source_bfs call on `team`.
     void prepare_ms(const CsrGraph& g, SchedulePolicy schedule,
                     ThreadTeam& team);
     void prepare_ms(const CompressedCsrGraph& g, SchedulePolicy schedule,
+                    ThreadTeam& team);
+    void prepare_ms(const PagedGraph& g, SchedulePolicy schedule,
                     ThreadTeam& team);
 
     // ---- engine-facing state ------------------------------------------

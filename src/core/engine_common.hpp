@@ -554,6 +554,22 @@ inline void scan_adjacency_until(const Graph& g, vertex_t v,
     }
 }
 
+/// Frontier-ahead prefetch hook: hands a freshly built next frontier to
+/// the paged backend's async prefetcher, so the stripe I/O for level
+/// d+1's rows overlaps the level-d barrier and bookkeeping (the FlashR
+/// SAFS overlap). Detected by a requires-expression on the `kPaged`
+/// backend's prefetch_frontier(); for the in-memory backends the call
+/// compiles away entirely. One caller per engine — the thread that owns
+/// the end-of-level window (tid 0 / the serial loop), right after the
+/// next queue's contents are final.
+template <class Graph>
+inline void prefetch_next_frontier(const Graph& g, const vertex_t* items,
+                                   std::size_t count) {
+    if constexpr (requires { g.prefetch_frontier(items, count); }) {
+        g.prefetch_frontier(items, count);
+    }
+}
+
 /// Rewinds a (possibly reused) BfsResult for a fresh run: the dense
 /// arrays are resized to `n` — a no-op on back-to-back queries over the
 /// same graph, which is the whole point of run_into — and the scalars

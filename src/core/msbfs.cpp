@@ -11,6 +11,7 @@
 #include "core/bfs_workspace.hpp"
 #include "core/engine_common.hpp"
 #include "graph/csr_compressed.hpp"
+#include "graph/paged_graph.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/simd_scan.hpp"
 #include "runtime/timer.hpp"
@@ -287,6 +288,13 @@ std::uint32_t multi_source_bfs(const CsrGraph& g,
 }
 
 std::uint32_t multi_source_bfs(const CompressedCsrGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options) {
+    return multi_source_bfs_impl(g, sources, visit, options);
+}
+
+std::uint32_t multi_source_bfs(const PagedGraph& g,
                                std::span<const vertex_t> sources,
                                const MsBfsVisitor& visit,
                                const MsBfsOptions& options) {

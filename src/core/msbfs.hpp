@@ -98,4 +98,13 @@ std::uint32_t multi_source_bfs(const CompressedCsrGraph& g,
                                const MsBfsVisitor& visit,
                                const MsBfsOptions& options = {});
 
+/// Paged-backend overload: identical semantics over the semi-external
+/// mapping. The lane frontier is a whole-graph bitmap, so the
+/// frontier-ahead prefetcher does not apply; scans fault pages on
+/// demand.
+std::uint32_t multi_source_bfs(const PagedGraph& g,
+                               std::span<const vertex_t> sources,
+                               const MsBfsVisitor& visit,
+                               const MsBfsOptions& options = {});
+
 }  // namespace sge

@@ -15,6 +15,7 @@ namespace {
 constexpr const char* kSiteNames[kSiteCount] = {
     "alloc",          "pin",           "channel_push",   "channel_pop",
     "barrier",        "service_submit", "service_flush", "service_worker",
+    "paged_read",
 };
 
 }  // namespace
@@ -39,6 +40,7 @@ constexpr const char* kSiteEnvNames[kSiteCount] = {
     "SGE_FAULT_CHANNEL_PUSH",   "SGE_FAULT_CHANNEL_POP",
     "SGE_FAULT_BARRIER",        "SGE_FAULT_SERVICE_SUBMIT",
     "SGE_FAULT_SERVICE_FLUSH",  "SGE_FAULT_SERVICE_WORKER",
+    "SGE_FAULT_PAGED_READ",
 };
 
 /// Parses "p=<double>" or "nth=<u64>". Returns nullopt on garbage —

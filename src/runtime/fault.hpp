@@ -20,7 +20,8 @@
 //   SGE_FAULT_BARRIER=nth=17         fire exactly once, on the 17th hit
 //   (likewise SGE_FAULT_PIN, SGE_FAULT_CHANNEL_PUSH,
 //    SGE_FAULT_CHANNEL_POP, SGE_FAULT_SERVICE_SUBMIT,
-//    SGE_FAULT_SERVICE_FLUSH, SGE_FAULT_SERVICE_WORKER)
+//    SGE_FAULT_SERVICE_FLUSH, SGE_FAULT_SERVICE_WORKER,
+//    SGE_FAULT_PAGED_READ)
 //
 // Building with -DSGE_FAULT_INJECTION=OFF removes the sites entirely:
 // should_fire() becomes a constexpr `false` and every call compiles
@@ -38,6 +39,7 @@ enum class Site : unsigned {
     kServiceSubmit, ///< GraphService::submit admission path -> FaultInjected
     kServiceFlush,  ///< service batcher flush (wave assembly) -> FaultInjected
     kServiceWorker, ///< service worker dispatch loop -> FaultInjected
+    kPagedRead,     ///< paged-graph stripe open/read -> PagedIoError / skip
     kSiteCount,
 };
 
